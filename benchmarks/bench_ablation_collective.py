@@ -1,0 +1,74 @@
+"""Ablation: the Collective access pattern (paper III-C / Fig. 3).
+
+Many processes read the same region simultaneously (a broadcast-shaped
+access). Marking the transaction COLLECTIVE replaces N scache fetches
+per page with one fetch plus a tree of process-to-process forwards —
+"to avoid overloading a single node".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MM_COLLECTIVE, MM_READ_ONLY, MM_WRITE_ONLY, SeqTx
+from benchmarks.common import print_table, testbed, write_csv
+
+N = 256 * 1024  # float64 = 2 MB, broadcast to every process
+
+
+def _app(flags):
+    def app(ctx):
+        vec = yield from ctx.mm.vector("bcast", dtype=np.float64,
+                                       size=N)
+        vec.bound_memory(4 * 1024 * 1024)
+        if ctx.rank == 0:
+            tx = yield from vec.tx_begin(SeqTx(0, N, MM_WRITE_ONLY))
+            yield from vec.write_range(0, np.arange(N,
+                                                    dtype=np.float64))
+            yield from vec.tx_end()
+            yield from vec.flush(wait=True)
+        yield from ctx.barrier()
+        tx = yield from vec.tx_begin(SeqTx(0, N, flags))
+        total = 0.0
+        while True:
+            chunk = yield from vec.next_chunk()
+            if chunk is None:
+                break
+            total += float(chunk.data.sum())
+        yield from vec.tx_end()
+        return total
+
+    return app
+
+
+def run_collective_ablation():
+    rows = []
+    for label, flags in (
+            ("collective", MM_READ_ONLY | MM_COLLECTIVE),
+            ("independent", MM_READ_ONLY)):
+        cluster = testbed(n_nodes=4, procs_per_node=2,
+                          prefetch_enabled=False)
+        res = cluster.run(_app(flags))
+        expected = N * (N - 1) / 2
+        assert all(abs(v - expected) < 1e-3 for v in res.values)
+        rows.append(dict(
+            mode=label,
+            runtime_s=round(res.runtime, 4),
+            scache_reads=int(res.stats.get("scache.reads", 0)),
+            forwards=int(res.stats.get("collective.forwards", 0)),
+            net_mb=round(res.stats["net.bytes_moved"] / 2 ** 20, 2)))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_collective(benchmark):
+    rows = benchmark.pedantic(run_collective_ablation, rounds=1,
+                              iterations=1)
+    print_table("Ablation — collective access", rows)
+    write_csv("ablation_collective", rows)
+    coll = next(r for r in rows if r["mode"] == "collective")
+    indep = next(r for r in rows if r["mode"] == "independent")
+    # The collective pattern dedupes scache fetches into forwards...
+    assert coll["scache_reads"] < indep["scache_reads"]
+    assert coll["forwards"] > 0 and indep["forwards"] == 0

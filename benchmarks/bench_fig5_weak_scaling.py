@@ -1,0 +1,128 @@
+"""Fig. 5: weak scaling, MegaMmap vs Spark/MPI, datasets in memory.
+
+Paper setup (IV-B1, scaled GB -> MB, 48 -> 2 procs/node): per-node
+datasets that fit entirely in DRAM; KMeans (2 MB/node, k=8, 4 iters)
+and RF (128 KB/node, 1 tree, depth 10) against Spark; DBSCAN
+(2 MB/node, eps=8, min_pts=64) and Gray-Scott (16 MB/node, no
+checkpoints) against MPI. Expected shape: MegaMmap ≈ MPI, and up to
+~2x faster than Spark, with Spark using 3-4x the DRAM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.datagen import POINT3D, write_gadget_like, \
+    write_parquet_points
+from repro.apps.dbscan import mm_dbscan, mpi_dbscan
+from repro.apps.grayscott import mm_gray_scott, mpi_gray_scott
+from repro.apps.kmeans import mm_kmeans, spark_kmeans
+from repro.apps.rf import mm_random_forest
+from repro.apps.rf.spark_rf import spark_random_forest
+from benchmarks.common import print_table, testbed, write_csv
+
+NODE_COUNTS = [1, 2, 4]
+
+#: Scaled per-node dataset sizes (records).
+KMEANS_PER_NODE = 40_000      # ~0.5 MB/node of Point3D
+DBSCAN_PER_NODE = 4_000
+RF_PER_NODE = 4_000
+GS_L_BASE = 48                # L grows with cube root of node count
+
+
+def _gs_l(n_nodes: int) -> int:
+    return int(round(GS_L_BASE * n_nodes ** (1 / 3) / 4) * 4)
+
+
+def run_weak_scaling(tmp_path):
+    rows = []
+    for n in NODE_COUNTS:
+        # --- KMeans: MegaMmap vs Spark ---
+        path = tmp_path / f"km{n}.parquet"
+        write_parquet_points(str(path), KMEANS_PER_NODE * n, 8, seed=n)
+        url = f"parquet://{path}"
+        c = testbed(n_nodes=n)
+        mm = c.run(mm_kmeans, url, 8, 4)
+        c2 = testbed(n_nodes=n)
+        sp = c2.run_driver(spark_kmeans(c2, url, 8, 4))
+        rows.append(dict(app="KMeans", nodes=n, procs=c.spec.nprocs,
+                         mm_s=mm.runtime, baseline="Spark",
+                         baseline_s=sp.runtime,
+                         mm_dram_mb=mm.peak_dram_total / 2**20,
+                         baseline_dram_mb=sp.peak_dram_total / 2**20))
+
+        # --- DBSCAN: MegaMmap vs MPI ---
+        path = tmp_path / f"db{n}.parquet"
+        write_parquet_points(str(path), DBSCAN_PER_NODE * n, 8, seed=n)
+        url = f"parquet://{path}"
+        c = testbed(n_nodes=n)
+        mm = c.run(mm_dbscan, url, 8.0, 16)
+        c2 = testbed(n_nodes=n)
+        mpi = c2.run(mpi_dbscan, url, 8.0, 16)
+        rows.append(dict(app="DBSCAN", nodes=n, procs=c.spec.nprocs,
+                         mm_s=mm.runtime, baseline="MPI",
+                         baseline_s=mpi.runtime,
+                         mm_dram_mb=mm.peak_dram_total / 2**20,
+                         baseline_dram_mb=mpi.peak_dram_total / 2**20))
+
+        # --- Random Forest: MegaMmap vs Spark ---
+        snap = tmp_path / f"rf{n}.h5"
+        labels = write_gadget_like(str(snap), RF_PER_NODE * n, 8,
+                                   seed=n)
+        lab_path = tmp_path / f"rf{n}.labels"
+        (labels + 1).astype(np.int32).tofile(lab_path)
+        url, lurl = f"hdf5://{snap}:parttype0", f"posix://{lab_path}"
+        c = testbed(n_nodes=n)
+        mm = c.run(mm_random_forest, url, lurl, 1, 10, 4, 0,
+                   128 * 1024)
+        c2 = testbed(n_nodes=n)
+        sp = c2.run_driver(spark_random_forest(
+            c2, url, lurl, num_trees=1, max_depth=10, oob=4))
+        rows.append(dict(app="RF", nodes=n, procs=c.spec.nprocs,
+                         mm_s=mm.runtime, baseline="Spark",
+                         baseline_s=sp.runtime,
+                         mm_dram_mb=mm.peak_dram_total / 2**20,
+                         baseline_dram_mb=sp.peak_dram_total / 2**20))
+
+        # --- Gray-Scott: MegaMmap vs MPI (plotgap=0, in memory) ---
+        L = _gs_l(n)
+        c = testbed(n_nodes=n)
+        mm = c.run(mm_gray_scott, L, 3, 0, 2 * 1024 * 1024)
+        c2 = testbed(n_nodes=n)
+        mpi = c2.run(mpi_gray_scott, L, 3)
+        rows.append(dict(app="Gray-Scott", nodes=n, procs=c.spec.nprocs,
+                         mm_s=mm.runtime, baseline="MPI",
+                         baseline_s=mpi.runtime,
+                         mm_dram_mb=mm.peak_dram_total / 2**20,
+                         baseline_dram_mb=mpi.peak_dram_total / 2**20))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_weak_scaling(benchmark, tmp_path):
+    rows = benchmark.pedantic(run_weak_scaling, args=(tmp_path,),
+                              rounds=1, iterations=1)
+    print_table("Fig. 5 — weak scaling (simulated seconds)", rows)
+    write_csv("fig5_weak_scaling", rows)
+    by_app = {}
+    for r in rows:
+        by_app.setdefault(r["app"], []).append(r)
+    # Shape claims of Fig. 5:
+    for r in rows:
+        if r["baseline"] == "Spark":
+            # MegaMmap beats Spark (paper: "as much as 2x faster").
+            assert r["mm_s"] < r["baseline_s"], r
+            # Spark uses several times the DRAM (paper: 3-4x).
+            assert r["baseline_dram_mb"] > 1.5 * r["mm_dram_mb"], r
+        else:
+            # MegaMmap performs competitively to MPI (within 2x at
+            # this scale; the paper shows near-parity at 48 procs/node).
+            assert r["mm_s"] < 2.0 * r["baseline_s"], r
+    # Weak scaling: runtime grows sublinearly with node count for the
+    # MegaMmap versions (no coherence blow-up).
+    for app, app_rows in by_app.items():
+        app_rows.sort(key=lambda r: r["nodes"])
+        first, last = app_rows[0], app_rows[-1]
+        factor = last["nodes"] / first["nodes"]
+        assert last["mm_s"] < factor * max(first["mm_s"], 1e-9) * 2, app

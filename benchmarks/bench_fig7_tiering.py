@@ -1,0 +1,80 @@
+"""Fig. 7: tiering study — DMSH compositions for persistent Gray-Scott.
+
+Paper setup (IV-B3, scaled): Gray-Scott with the grid exceeding DRAM,
+checkpointed every step (plotgap=1), on four storage compositions
+(per node, paper GB -> our MB/4 to keep the grid:DRAM ratio):
+
+    48D-48H | 48D-16N-32S | 48D-32N-16S | 48D-48N
+
+Expected shape: performance improves monotonically as HDD capacity is
+replaced with SSD/NVMe — ~1.5x for 16N-32S over the HDD baseline, a
+further gain for 32N-16S, up to ~1.8x for all-NVMe — while financial
+cost rises with tier quality ("performance is related closely to
+cost").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.grayscott import mm_gray_scott
+from repro.storage.tiers import GB
+from benchmarks.common import print_table, testbed, write_csv
+
+N_NODES = 4
+DRAM_MB = 6
+L = 96          # ~7 MB/node of live state + 3.4 MB/node of checkpoint
+STEPS = 6       # per step: the flow through the tiers exceeds flash
+PLOTGAP = 1
+
+#: (label, nvme_mb, ssd_mb, hdd_mb) per node — paper's compositions
+#: scaled /4 to match the 12 MB DRAM.
+COMPOSITIONS = [
+    ("48D-48H", 0, 0, 12),
+    ("48D-16N-32S", 4, 8, 0),
+    ("48D-32N-16S", 8, 4, 0),
+    ("48D-48N", 12, 0, 0),
+]
+
+PAGE = 256 * 1024
+PCACHE = 1024 * 1024
+
+
+def run_tiering():
+    rows = []
+    for label, nvme, ssd, hdd in COMPOSITIONS:
+        cluster = testbed(n_nodes=N_NODES, dram_mb=DRAM_MB,
+                          nvme_mb=nvme, ssd_mb=ssd, hdd_mb=hdd,
+                          page_size=PAGE, pcache=PCACHE)
+        res = cluster.run(mm_gray_scott, L, STEPS, PLOTGAP, PCACHE)
+        rows.append(dict(
+            composition=label,
+            tiers=cluster.describe_tiers(),
+            runtime_s=round(res.runtime, 4),
+            cost_dollars=round(cluster.hardware_cost(), 6),
+            peak_dram_mb=round(res.peak_dram_total / 2 ** 20, 2)))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_tiering(benchmark):
+    rows = benchmark.pedantic(run_tiering, rounds=1, iterations=1)
+    print_table("Fig. 7 — tiering study (write-intensive Gray-Scott)",
+                rows)
+    write_csv("fig7_tiering", rows)
+    t = {r["composition"]: r["runtime_s"] for r in rows}
+    cost = {r["composition"]: r["cost_dollars"] for r in rows}
+    # Shape claims of Fig. 7:
+    # HDD-only is the slowest composition.
+    assert t["48D-48H"] == max(t.values())
+    # Adding flash improves performance...
+    assert t["48D-16N-32S"] < t["48D-48H"]
+    # ...more NVMe improves it further...
+    assert t["48D-32N-16S"] <= t["48D-16N-32S"] * 1.02
+    # ...and all-NVMe is the fastest overall (paper: 1.8x vs HDD).
+    assert t["48D-48N"] == min(t.values())
+    assert t["48D-48H"] / t["48D-48N"] > 1.2
+    # Performance is related closely to cost: the cost ordering of the
+    # all-flash compositions follows the performance ordering.
+    assert cost["48D-48N"] > cost["48D-32N-16S"] > cost["48D-16N-32S"] \
+        > cost["48D-48H"]

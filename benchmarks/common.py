@@ -1,0 +1,98 @@
+"""Shared benchmark harness: scaled testbed builders, CSV, tables.
+
+Scaling convention (DESIGN.md): the paper's testbed quantities are kept
+in *ratio* but divided by 1024 (GB -> MB) and node/process counts are
+reduced (48 procs/node -> 2). Every simulated cost is bytes/bandwidth,
+so relative results — who wins, by what factor, where the knees sit —
+are invariant; absolute seconds are not comparable to the paper's.
+
+Each ``bench_*.py`` regenerates one table/figure: it sweeps the same
+parameters the paper sweeps, prints rows in the paper's shape, writes
+``benchmarks/results/<name>.csv`` (the artifact's ``stats_dict.csv``
+role), and asserts the figure's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Sequence
+
+from repro.cluster import ClusterSpec, SimCluster
+from repro.core.config import MegaMmapConfig
+from repro.storage.device import DeviceSpec
+from repro.storage.tiers import DRAM, HDD, MB, NVME, SATA_SSD, scaled
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Scaled testbed per-node tiers (paper IV-A1, GB -> MB).
+NODE_DRAM_MB = 48
+NODE_NVME_MB = 128
+NODE_SSD_MB = 256
+NODE_HDD_MB = 1024
+
+
+def testbed(n_nodes=4, procs_per_node=2, dram_mb=NODE_DRAM_MB,
+            nvme_mb=NODE_NVME_MB, ssd_mb=0, hdd_mb=0,
+            page_size=64 * 1024, pcache=512 * 1024,
+            pfs_spec=None, pfs_servers=2, seed=0, **cfg) -> SimCluster:
+    """A scaled replica of the paper's cluster."""
+    tiers = [scaled(DRAM, dram_mb * MB)]
+    if nvme_mb:
+        tiers.append(scaled(NVME, nvme_mb * MB))
+    if ssd_mb:
+        tiers.append(scaled(SATA_SSD, ssd_mb * MB))
+    if hdd_mb:
+        tiers.append(scaled(HDD, hdd_mb * MB))
+    return SimCluster(
+        n_nodes=n_nodes, procs_per_node=procs_per_node,
+        tiers=tuple(tiers),
+        pfs_servers=pfs_servers,
+        pfs_spec=pfs_spec or scaled(HDD, 16 * 1024 * MB),
+        config=MegaMmapConfig(page_size=page_size, pcache_size=pcache,
+                              **cfg),
+        seed=seed,
+    )
+
+
+testbed.__test__ = False  # a helper whose name pytest would collect
+
+
+def write_csv(name: str, rows: List[Dict]) -> str:
+    """Persist rows as benchmarks/results/<name>.csv; returns path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.csv")
+    if rows:
+        keys = list(rows[0].keys())
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.DictWriter(fh, fieldnames=keys)
+            writer.writeheader()
+            writer.writerows(rows)
+    return path
+
+
+def print_table(title: str, rows: List[Dict],
+                columns: Sequence[str] = ()) -> None:
+    """Render rows as a fixed-width table on stdout."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    cols = list(columns) or list(rows[0].keys())
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows))
+              for c in cols}
+    header = "  ".join(c.ljust(widths[c]) for c in cols)
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in cols))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 100 or float(v).is_integer():
+            return f"{v:.1f}"
+        return f"{v:.4g}"
+    return str(v)

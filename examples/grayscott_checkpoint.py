@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Gray-Scott with asynchronous checkpoints through the Data Stager.
+
+Shows the paper's Fig.-7 mechanism in miniature: the simulation grid
+lives in shared vectors under the Read/Write-Local coherence policy;
+every step a checkpoint is written to a file-backed vector that the
+Data Stager persists in the *background*, overlapping checkpoint I/O
+with the next compute step. At the end we verify the checkpoint files
+on disk against a single-process reference simulation.
+
+Run:  python examples/grayscott_checkpoint.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.apps.grayscott import GSParams, gs_reference, mm_gray_scott
+from repro.cluster import SimCluster
+from repro.core.config import MegaMmapConfig
+from repro.storage.tiers import DRAM, MB, NVME, scaled
+
+L = 32
+STEPS = 4
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="megammap-gs-")
+    cluster = SimCluster(
+        n_nodes=4, procs_per_node=2, pfs_servers=2,
+        tiers=(scaled(DRAM, 8 * MB), scaled(NVME, 64 * MB)),
+        config=MegaMmapConfig(page_size=32 * 1024),
+    )
+    prefix = f"posix://{workdir}/ckpt"
+    result = cluster.run(mm_gray_scott, L, STEPS,
+                         1,                # plotgap: checkpoint every step
+                         512 * 1024,       # pcache bound per process
+                         GSParams(), prefix)
+    cluster.shutdown()
+
+    u_sum, v_sum = result.values[0]
+    print(f"L={L}, {STEPS} steps on {cluster.spec.nprocs} processes")
+    print(f"final checksums: U={u_sum:.3f}  V={v_sum:.3f}")
+    print(f"simulated runtime: {result.runtime * 1e3:.1f} ms")
+
+    # Verify every checkpoint against the reference simulation.
+    for step in range(1, STEPS + 1):
+        u_ref, v_ref = gs_reference(L, step)
+        path = os.path.join(workdir, f"ckpt_{step}.u")
+        got = np.fromfile(path, dtype=np.float64).reshape(L, L, L)
+        err = float(np.abs(got - u_ref).max())
+        print(f"checkpoint step {step}: {path}  max|err|={err:.2e}")
+        assert err < 1e-12
+    print("all checkpoints bit-exact against the reference  [OK]")
+
+
+if __name__ == "__main__":
+    main()

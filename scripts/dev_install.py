@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Editable install that works offline.
+
+``pip install -e .`` requires the ``wheel`` package (absent in fully
+offline environments). This script achieves the same effect by writing
+a ``.pth`` file pointing at ``src/`` into the active site-packages.
+"""
+
+import os
+import site
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+
+
+def main() -> int:
+    for candidate in site.getsitepackages() + [site.getusersitepackages()]:
+        if os.path.isdir(candidate) and os.access(candidate, os.W_OK):
+            path = os.path.join(candidate, "repro-dev.pth")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(SRC + "\n")
+            print(f"installed: {path} -> {SRC}")
+            return 0
+    print("no writable site-packages found", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

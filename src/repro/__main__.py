@@ -1,0 +1,42 @@
+"""CLI: run pipeline workflow files against the simulated cluster.
+
+    python -m repro pipelines/mm_kmeans_mega.yaml [--workdir DIR]
+
+Mirrors the artifact's ``jarvis ppl run yaml /path/to/workflow.yaml``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.pipeline import run_pipeline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a MegaMmap workflow pipeline (Jarvis-style).")
+    parser.add_argument("pipeline", help="path to a workflow YAML file")
+    parser.add_argument("--workdir", default=None,
+                        help="directory for datasets + stats_dict.csv "
+                             "(default: a fresh temp directory)")
+    args = parser.parse_args(argv)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-ppl-")
+    rows = run_pipeline(args.pipeline, workdir=workdir)
+    if not rows:
+        print("pipeline produced no rows", file=sys.stderr)
+        return 1
+    cols = list(rows[0])
+    print("  ".join(cols))
+    for row in rows:
+        print("  ".join(
+            f"{row[c]:.4f}" if isinstance(row[c], float) else str(row[c])
+            for c in cols))
+    print(f"\nstats written to {workdir}/", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Applications: the paper's four workloads in MegaMmap and baseline form.
+
+* KMeans‖ — MegaMmap vs the Spark-MLlib-style baseline;
+* µDBSCAN — MegaMmap vs the MPI baseline;
+* Random Forest — MegaMmap vs the Spark-MLlib-style baseline;
+* Gray-Scott — MegaMmap vs MPI over {OrangeFS, Assise, Hermes} I/O.
+
+Plus the Gadget-like synthetic dataset generator (`datagen`) and a
+cloc-like line counter (`loc`) used by the Fig. 4 benchmark.
+"""
+
+from repro.apps.datagen import POINT3D, generate_points, write_gadget_like
+
+__all__ = ["POINT3D", "generate_points", "write_gadget_like"]

@@ -1,0 +1,112 @@
+"""Shared DBSCAN machinery: local clustering, boundary merge, oracle."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+def local_dbscan(xyz: np.ndarray, eps: float, min_pts: int
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Classic DBSCAN on one process's points.
+
+    Returns (labels, is_core); labels are local ids starting at 0, -1
+    is noise.
+    """
+    n = len(xyz)
+    labels = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return labels, np.zeros(0, dtype=bool)
+    tree = cKDTree(xyz)
+    neighbor_counts = tree.query_ball_point(xyz, eps,
+                                            return_length=True)
+    is_core = neighbor_counts >= min_pts
+    cluster = 0
+    for i in range(n):
+        if labels[i] != -1 or not is_core[i]:
+            continue
+        # BFS flood fill from this core point.
+        frontier = [i]
+        labels[i] = cluster
+        while frontier:
+            j = frontier.pop()
+            if not is_core[j]:
+                continue
+            for nb in tree.query_ball_point(xyz[j], eps):
+                if labels[nb] == -1:
+                    labels[nb] = cluster
+                    if is_core[nb]:
+                        frontier.append(nb)
+        cluster += 1
+    return labels, is_core
+
+
+class UnionFind:
+    """Path-compressed union-find over hashable ids."""
+
+    def __init__(self):
+        self.parent: Dict = {}
+
+    def find(self, x):
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def merge_labels(boundary_xyz: List[np.ndarray],
+                 boundary_ids: List[np.ndarray],
+                 boundary_core: List[np.ndarray],
+                 eps: float) -> Dict:
+    """Union µcluster ids whose core points from different processes
+    lie within eps. ``boundary_ids`` carries (rank, local_label) pairs
+    encoded as rank * 2^32 + label. Returns the union-find parent map.
+    """
+    uf = UnionFind()
+    pts = [p for p in boundary_xyz if len(p)]
+    if not pts:
+        return uf.parent
+    all_xyz = np.vstack(pts)
+    all_ids = np.concatenate([i for i in boundary_ids if len(i)])
+    all_core = np.concatenate([c for c in boundary_core if len(c)])
+    for gid in all_ids:
+        uf.find(int(gid))
+    tree = cKDTree(all_xyz)
+    pairs = tree.query_pairs(eps, output_type="ndarray")
+    for a, b in pairs:
+        if all_ids[a] == all_ids[b]:
+            continue
+        # Merge when at least one side is core (border points attach
+        # to the core's cluster; two cores always merge).
+        if all_core[a] or all_core[b]:
+            uf.union(int(all_ids[a]), int(all_ids[b]))
+    return uf.parent
+
+
+def encode_gid(rank: int, label: np.ndarray) -> np.ndarray:
+    """(rank, local label) -> global µcluster id; noise stays -1."""
+    gid = rank * (1 << 32) + label
+    return np.where(label < 0, -1, gid)
+
+
+def resolve(parent: Dict, gid: int) -> int:
+    while parent.get(gid, gid) != gid:
+        gid = parent[gid]
+    return gid
+
+
+def reference_dbscan(xyz: np.ndarray, eps: float,
+                     min_pts: int) -> np.ndarray:
+    """Single-process oracle (same algorithm, no partitioning)."""
+    labels, _ = local_dbscan(xyz, eps, min_pts)
+    return labels

@@ -1,0 +1,54 @@
+"""MegaMmap µDBSCAN: the dataset is just a shared vector.
+
+Loading is a PGAS partition of the points vector streamed through a
+sequential read-only transaction; cluster assignments persist through
+a file-backed vector (no explicit I/O partitioning or staging code —
+the Fig. 4 point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.datagen import POINT3D, as_xyz
+from repro.apps.dbscan.driver import cluster_cell, partition_points
+from repro.core import MM_READ_ONLY, MM_WRITE_ONLY, SeqTx
+
+
+def mm_dbscan(ctx, url, eps, min_pts, seed=0, pcache=None,
+              assign_url=None):
+    """Returns (orig_indices, global_labels) for this rank's cell."""
+    pts_vec = yield from ctx.mm.vector(url, dtype=POINT3D)
+    if pcache:
+        pts_vec.bound_memory(pcache)
+    pts_vec.pgas(ctx.rank, ctx.nprocs)
+    rows = []
+    tx = yield from pts_vec.tx_begin(SeqTx(pts_vec.local_off(),
+                                           pts_vec.local_size(),
+                                           MM_READ_ONLY))
+    while True:
+        chunk = yield from pts_vec.next_chunk()
+        if chunk is None:
+            break
+        yield from ctx.compute_bytes(chunk.data.nbytes, factor=2.0)
+        xyz = as_xyz(chunk.data)
+        idx = np.arange(chunk.start, chunk.start + len(chunk),
+                        dtype=np.float64)
+        rows.append(np.column_stack([xyz, idx]))
+    yield from pts_vec.tx_end()
+    pts = np.vstack(rows) if rows else np.empty((0, 4))
+
+    cell = yield from partition_points(ctx, pts, seed=seed)
+    orig, labels = yield from cluster_cell(ctx, cell, eps, min_pts)
+
+    if assign_url is not None:
+        out = yield from ctx.mm.vector(assign_url, dtype=np.int64,
+                                       size=pts_vec.size, volatile=False)
+        yield from out.tx_begin(SeqTx(0, 0, MM_WRITE_ONLY))
+        order = np.argsort(orig)
+        for i in order:
+            yield from out.write_range(
+                int(orig[i]), np.asarray([labels[i]], dtype=np.int64))
+        yield from out.tx_end()
+        yield from out.persist()
+    return orig, labels

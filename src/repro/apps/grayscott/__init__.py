@@ -1,0 +1,22 @@
+"""Gray-Scott reaction-diffusion (paper IV-A2).
+
+A 3-D two-species (U, V) reaction-diffusion simulation on an L³ grid,
+z-slab partitioned: the MegaMmap version keeps the grid in shared
+vectors (ghost planes read through the DSM), the MPI version exchanges
+ghosts with sendrecv and checkpoints synchronously through a pluggable
+I/O service (OrangeFS / Assise / Hermes — the Fig. 6 baselines).
+"""
+
+from repro.apps.grayscott.stencil import (
+    GSParams,
+    gs_reference,
+    gs_step_slab,
+    init_fields,
+    init_slab,
+)
+from repro.apps.grayscott.mm_gs import mm_gray_scott
+from repro.apps.grayscott.mpi_gs import HermesIo, mpi_gray_scott
+
+__all__ = ["GSParams", "HermesIo", "gs_reference", "gs_step_slab",
+           "init_fields", "init_slab", "mm_gray_scott",
+           "mpi_gray_scott"]

@@ -1,0 +1,19 @@
+"""KMeans‖ clustering (paper IV-A2, Listing 1).
+
+``mm_kmeans`` is the MegaMmap implementation (the paper's custom
+KMeans‖, "the same algorithm used in Apache Spark");
+``spark_kmeans`` is the Spark-MLlib-style baseline running on the
+mini-Spark substrate.
+"""
+
+from repro.apps.kmeans.common import (
+    assign,
+    inertia_of,
+    match_accuracy,
+    reference_kmeans,
+)
+from repro.apps.kmeans.mm_kmeans import mm_kmeans
+from repro.apps.kmeans.spark_kmeans import spark_kmeans
+
+__all__ = ["assign", "inertia_of", "match_accuracy", "mm_kmeans",
+           "reference_kmeans", "spark_kmeans"]

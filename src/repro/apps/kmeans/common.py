@@ -1,0 +1,88 @@
+"""Shared KMeans math: assignment, inertia, the NumPy reference."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sim.rand import rng_stream
+
+
+def assign(xyz: np.ndarray, centroids: np.ndarray
+           ) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment. Returns (labels, squared dists)."""
+    # ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2, vectorized (n, k).
+    d2 = (np.einsum("ij,ij->i", xyz, xyz)[:, None]
+          - 2.0 * xyz @ centroids.T
+          + np.einsum("ij,ij->i", centroids, centroids)[None, :])
+    labels = np.argmin(d2, axis=1)
+    return labels, np.maximum(d2[np.arange(len(xyz)), labels], 0.0)
+
+
+def inertia_of(xyz: np.ndarray, centroids: np.ndarray) -> float:
+    """Sum of squared distances to nearest centroids (Listing 1)."""
+    return float(assign(xyz, centroids)[1].sum())
+
+
+def weighted_kmeans(points: np.ndarray, weights: np.ndarray, k: int,
+                    seed: int, iters: int = 20) -> np.ndarray:
+    """Weighted Lloyd on a small candidate set (the KMeans‖ recluster
+    step run on the driver/rank 0)."""
+    rng = rng_stream(seed, "recluster")
+    if len(points) <= k:
+        pad = points[rng.integers(0, len(points),
+                                  size=k - len(points))] \
+            if len(points) < k else np.empty((0, 3))
+        return np.vstack([points, pad])[:k]
+    # kmeans++ seeding over the weighted candidates.
+    centroids = [points[rng.integers(len(points))]]
+    for _ in range(k - 1):
+        _, d2 = assign(points, np.asarray(centroids))
+        p = d2 * weights
+        total = p.sum()
+        if total <= 0:
+            centroids.append(points[rng.integers(len(points))])
+            continue
+        centroids.append(points[rng.choice(len(points), p=p / total)])
+    centroids = np.asarray(centroids)
+    for _ in range(iters):
+        labels, _ = assign(points, centroids)
+        for j in range(k):
+            mask = labels == j
+            w = weights[mask]
+            if w.sum() > 0:
+                centroids[j] = np.average(points[mask], axis=0,
+                                          weights=w)
+    return centroids
+
+
+def reference_kmeans(xyz: np.ndarray, k: int, seed: int = 0,
+                     max_iter: int = 10) -> Tuple[np.ndarray, float]:
+    """Single-process NumPy KMeans (kmeans++ init + Lloyd) used to
+    verify the distributed implementations."""
+    centroids = weighted_kmeans(xyz, np.ones(len(xyz)), k, seed)
+    for _ in range(max_iter):
+        labels, _ = assign(xyz, centroids)
+        for j in range(k):
+            mask = labels == j
+            if mask.any():
+                centroids[j] = xyz[mask].mean(axis=0)
+    return centroids, inertia_of(xyz, centroids)
+
+
+def match_accuracy(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Cluster-label agreement under the best greedy label matching
+    (ground-truth halos vs predicted clusters; -1 truth = background,
+    excluded)."""
+    mask = truth >= 0
+    labels, truth = labels[mask], truth[mask]
+    if len(labels) == 0:
+        return 0.0
+    correct = 0
+    for t in np.unique(truth):
+        sel = truth == t
+        if sel.any():
+            vals, counts = np.unique(labels[sel], return_counts=True)
+            correct += counts.max()
+    return correct / len(labels)

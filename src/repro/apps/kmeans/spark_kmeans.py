@@ -1,0 +1,45 @@
+"""Spark KMeans application (the paper's "original" baseline).
+
+A driver program in the style of the MLlib KMeans examples: build the
+session, load and cache the dataset, convert rows to vectors, fit
+KMeans‖, compute the cost, and write assignments back through the
+driver — each stage materializing RDD copies, every shuffle on TCP.
+Runs as a single driver generator (``cluster.run_driver``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.datagen import POINT3D, as_xyz
+from repro.apps.kmeans.common import assign
+from repro.spark.core import SparkSim
+
+
+def spark_kmeans(cluster, url, k, max_iter=4, seed=0,
+                 assign_path=None, jvm_factor=2.5,
+                 partitions_per_node=2):
+    """Driver generator. Returns (centroids, inertia)."""
+    from repro.spark.mllib import mllib_kmeans  # lazy: breaks the
+    # apps.kmeans <-> spark.mllib import cycle
+    spark = SparkSim(cluster, jvm_factor=jvm_factor,
+                     partitions_per_node=partitions_per_node)
+    centroids, inertia = yield from mllib_kmeans(
+        spark, url, k, max_iter=max_iter, seed=seed)
+    if assign_path is not None and cluster.pfs is not None:
+        # Predictions: one more pass materializing an assignments RDD,
+        # collected to the driver and written out from there.
+        raw = yield from spark.read_records(url, POINT3D)
+        pts = yield from raw.map_partitions(as_xyz, name="toVectors")
+        preds = yield from pts.map_partitions(
+            lambda xyz: assign(xyz, centroids)[0].astype(np.int32),
+            name="predict")
+        parts = yield from preds.collect()
+        labels = np.concatenate(parts) if parts else np.empty(0,
+                                                              np.int32)
+        yield from cluster.pfs.write(spark.driver_node, assign_path, 0,
+                                     labels.tobytes())
+        raw.unpersist()
+        pts.unpersist()
+        preds.unpersist()
+    return centroids, inertia

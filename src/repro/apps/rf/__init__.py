@@ -1,0 +1,13 @@
+"""Random Forest (paper IV-A2): out-of-order bagging + distributed
+greedy trees with Gini impurity, in MegaMmap and Spark-MLlib form."""
+
+from repro.apps.rf.common import (
+    FEATURE6,
+    accuracy,
+    rf_predict,
+    predict_tree,
+)
+from repro.apps.rf.mm_rf import mm_random_forest
+
+__all__ = ["FEATURE6", "accuracy", "mm_random_forest", "predict_tree",
+           "rf_predict"]

@@ -1,0 +1,175 @@
+"""Shared Random-Forest machinery: binned Gini splits, prediction.
+
+Distributed tree construction needs *mergeable* split statistics, so —
+like Spark MLlib — features are binned against globally agreed edges
+and per-partition class histograms are summed; the driver (or an
+allreduce) then picks the split maximizing Gini gain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Gadget particle features: position + velocity (6 floats).
+FEATURE6 = np.dtype([("x", "<f4"), ("y", "<f4"), ("z", "<f4"),
+                     ("vx", "<f4"), ("vy", "<f4"), ("vz", "<f4")])
+
+N_BINS = 16
+MAX_CLASSES = 64
+
+
+def to_features(records: np.ndarray) -> np.ndarray:
+    """Packed records -> (n, f) float64 feature matrix."""
+    return np.column_stack([records[f].astype(np.float64)
+                            for f in records.dtype.names])
+
+
+def minmax_stats(X: np.ndarray, subset: Sequence[int]
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-feature (min, max) over the subset; identity-safe for empty
+    partitions."""
+    if len(X) == 0:
+        k = len(subset)
+        return (np.full(k, np.inf), np.full(k, -np.inf))
+    sub = X[:, list(subset)]
+    return sub.min(axis=0), sub.max(axis=0)
+
+
+def merge_minmax(a, b):
+    return np.minimum(a[0], b[0]), np.maximum(a[1], b[1])
+
+
+def edges_from_minmax(mins: np.ndarray, maxs: np.ndarray
+                      ) -> List[np.ndarray]:
+    """N_BINS-1 interior candidate thresholds per feature."""
+    out = []
+    for lo, hi in zip(mins, maxs):
+        if not np.isfinite(lo) or not np.isfinite(hi) or hi <= lo:
+            out.append(np.asarray([0.0]))
+        else:
+            out.append(np.linspace(lo, hi, N_BINS + 1)[1:-1])
+    return out
+
+
+def hist_stats(X: np.ndarray, y: np.ndarray, subset: Sequence[int],
+               edges: List[np.ndarray]) -> List[np.ndarray]:
+    """Per feature: class histogram per bin, shape (n_bins, n_classes).
+    Mergeable by elementwise sum."""
+    out = []
+    for j, f in enumerate(subset):
+        e = edges[j]
+        hist = np.zeros((len(e) + 1, MAX_CLASSES))
+        if len(X):
+            bins = np.searchsorted(e, X[:, f], side="right")
+            np.add.at(hist, (bins, np.clip(y, 0, MAX_CLASSES - 1)), 1.0)
+        out.append(hist)
+    return out
+
+
+def merge_hists(a: List[np.ndarray], b: List[np.ndarray]):
+    return [x + y for x, y in zip(a, b)]
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+def best_split(subset: Sequence[int], edges: List[np.ndarray],
+               hists: List[np.ndarray]
+               ) -> Tuple[Optional[int], float, float]:
+    """Pick the (feature, threshold) maximizing Gini gain.
+
+    Returns (feature index in the full matrix, threshold, gain);
+    feature is None when no split improves impurity.
+    """
+    best = (None, 0.0, 0.0)
+    for j, f in enumerate(subset):
+        hist = hists[j]
+        total = hist.sum(axis=0)
+        n = total.sum()
+        if n <= 0:
+            continue
+        parent = _gini(total)
+        left = np.cumsum(hist, axis=0)
+        for b in range(len(edges[j])):
+            lc = left[b]
+            rc = total - lc
+            nl, nr = lc.sum(), rc.sum()
+            if nl == 0 or nr == 0:
+                continue
+            gain = parent - (nl / n) * _gini(lc) - (nr / n) * _gini(rc)
+            if gain > best[2]:
+                best = (int(f), float(edges[j][b]), float(gain))
+    return best
+
+
+def leaf_label(counts: np.ndarray) -> int:
+    return int(np.argmax(counts))
+
+
+def class_counts(y: np.ndarray) -> np.ndarray:
+    return np.bincount(np.clip(y, 0, MAX_CLASSES - 1),
+                       minlength=MAX_CLASSES).astype(float)
+
+
+def predict_tree(tree: Dict, X: np.ndarray) -> np.ndarray:
+    """Vectorized single-tree prediction."""
+    out = np.zeros(len(X), dtype=np.int64)
+    idx = np.arange(len(X))
+
+    def walk(node, rows):
+        if not len(rows):
+            return
+        if "leaf" in node:
+            out[rows] = node["leaf"]
+            return
+        mask = X[rows, node["feature"]] <= node["threshold"]
+        walk(node["left"], rows[mask])
+        walk(node["right"], rows[~mask])
+
+    walk(tree, idx)
+    return out
+
+
+def rf_predict(trees: List[Dict], X: np.ndarray) -> np.ndarray:
+    """Majority vote across trees."""
+    votes = np.stack([predict_tree(t, X) for t in trees])
+    out = np.empty(len(X), dtype=np.int64)
+    for i in range(len(X)):
+        vals, counts = np.unique(votes[:, i], return_counts=True)
+        out[i] = vals[np.argmax(counts)]
+    return out
+
+
+def accuracy(pred: np.ndarray, truth: np.ndarray) -> float:
+    return float((pred == truth).mean()) if len(truth) else 0.0
+
+
+def reference_tree(X: np.ndarray, y: np.ndarray, max_depth: int,
+                   rng: np.random.Generator, depth: int = 0) -> Dict:
+    """Single-process greedy tree (verification reference)."""
+    counts = class_counts(y)
+    if depth >= max_depth or len(y) < 8 or (counts > 0).sum() <= 1:
+        return {"leaf": leaf_label(counts)}
+    n_features = X.shape[1]
+    subset = sorted(rng.choice(n_features,
+                               size=max(1, int(np.sqrt(n_features))),
+                               replace=False))
+    mins, maxs = minmax_stats(X, subset)
+    edges = edges_from_minmax(mins, maxs)
+    hists = hist_stats(X, y, subset, edges)
+    f, th, gain = best_split(subset, edges, hists)
+    if f is None or gain <= 1e-9:
+        return {"leaf": leaf_label(counts)}
+    mask = X[:, f] <= th
+    return {"feature": f, "threshold": th,
+            "left": reference_tree(X[mask], y[mask], max_depth, rng,
+                                   depth + 1),
+            "right": reference_tree(X[~mask], y[~mask], max_depth, rng,
+                                    depth + 1)}

@@ -1,0 +1,105 @@
+"""MegaMmap Random Forest (paper IV-A2).
+
+Each process performs out-of-order bagging: a seeded *random*
+transaction (``RandTx`` — the randomness seed is part of the access
+intent, so the prefetcher predicts the visit order) streams a random
+page subset of the dataset, from which ``N/(oob*p)`` samples are
+drawn. Tree construction is coordinated SPMD recursion: every rank
+holds its bag's fraction of the current node and agrees on each split
+through allreduces of binned Gini statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.rf.common import (
+    FEATURE6,
+    best_split,
+    class_counts,
+    edges_from_minmax,
+    hist_stats,
+    leaf_label,
+    merge_hists,
+    merge_minmax,
+    minmax_stats,
+    to_features,
+)
+from repro.core import MM_READ_ONLY, RandTx
+from repro.sim.rand import rng_stream
+
+
+def mm_random_forest(ctx, url, labels_url, num_trees=1, max_depth=10,
+                     oob=4, seed=0, pcache=None):
+    """Returns the list of trees (same structure on every rank)."""
+    pts = yield from ctx.mm.vector(url, dtype=FEATURE6)
+    labs = yield from ctx.mm.vector(labels_url, dtype=np.int32)
+    if pcache:
+        pts.bound_memory(pcache)
+        labs.bound_memory(max(pcache // 4, labs.shared.page_size))
+    n = pts.size
+    target = max(16, n // (max(1, oob) * ctx.nprocs))
+
+    trees = []
+    for t in range(num_trees):
+        rng = rng_stream(seed, "rf", t, ctx.rank)
+        X, y = yield from _bag(ctx, pts, labs, target,
+                               seed=int(rng.integers(1 << 30)))
+        tree = yield from _build(ctx, X, y, max_depth,
+                                 rng_stream(seed, "rf-split", t))
+        trees.append(tree)
+    return trees
+
+
+def _bag(ctx, pts, labs, target, seed):
+    """Stream a seeded-random page visit order, sampling with
+    replacement until ``target`` samples are drawn."""
+    tx = yield from pts.tx_begin(RandTx(0, pts.size, seed=seed,
+                                        flags=MM_READ_ONLY))
+    rng = rng_stream(seed, "bag-pick")
+    xs, ys, got = [], [], 0
+    while got < target:
+        chunk = yield from pts.next_chunk()
+        if chunk is None:
+            break
+        yield from ctx.compute_bytes(chunk.data.nbytes, factor=2.0)
+        take = min(target - got, max(1, len(chunk) // 2))
+        idx = rng.integers(0, len(chunk), size=take)  # with replacement
+        xs.append(to_features(chunk.data[idx]))
+        lab = yield from labs.read_range(chunk.start, len(chunk))
+        ys.append(lab[idx])
+        got += take
+    yield from pts.tx_end()
+    if not xs:
+        return (np.empty((0, len(FEATURE6.names))),
+                np.empty(0, dtype=np.int64))
+    return np.vstack(xs), np.concatenate(ys).astype(np.int64)
+
+
+def _build(ctx, X, y, max_depth, rng, depth=0):
+    """Coordinated SPMD recursion; identical tree on every rank."""
+    counts = yield from ctx.comm.allreduce(class_counts(y),
+                                           op=lambda a, b: a + b)
+    total = counts.sum()
+    if depth >= max_depth or total < 8 or (counts > 0).sum() <= 1:
+        return {"leaf": leaf_label(counts)}
+    n_features = X.shape[1]
+    subset = sorted(rng.choice(n_features,
+                               size=max(1, int(np.sqrt(n_features))),
+                               replace=False))
+    mm = yield from ctx.comm.allreduce(minmax_stats(X, subset),
+                                       op=merge_minmax)
+    edges = edges_from_minmax(*mm)
+    yield from ctx.compute_bytes(X.nbytes, factor=3.0)
+    hists = yield from ctx.comm.allreduce(
+        hist_stats(X, y, subset, edges), op=merge_hists)
+    f, th, gain = best_split(subset, edges, hists)
+    if f is None or gain <= 1e-9:
+        return {"leaf": leaf_label(counts)}
+    mask = X[:, f] <= th
+    left = yield from _build(ctx, X[mask], y[mask], max_depth, rng,
+                             depth + 1)
+    right = yield from _build(ctx, X[~mask], y[~mask], max_depth, rng,
+                              depth + 1)
+    return {"feature": int(f), "threshold": float(th),
+            "left": left, "right": right}

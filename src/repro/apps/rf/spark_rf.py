@@ -1,0 +1,29 @@
+"""Spark RandomForest application (the paper's "original" baseline).
+
+MLlib-style driver: load features and labels, zip, bag per tree, fit
+binned trees through driver-coordinated stages, evaluate on the test
+split — every stage a fresh materialized RDD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.rf.common import rf_predict
+from repro.spark.core import SparkSim
+
+
+def spark_random_forest(cluster, url, labels_url, num_trees=1,
+                        max_depth=10, oob=4, seed=0,
+                        test_X=None, test_y=None, jvm_factor=2.5):
+    """Driver generator. Returns (trees, test_accuracy_or_None)."""
+    from repro.spark.mllib import mllib_random_forest  # lazy import
+    spark = SparkSim(cluster, jvm_factor=jvm_factor)
+    trees = yield from mllib_random_forest(
+        spark, url, labels_url, num_trees=num_trees,
+        max_depth=max_depth, oob=oob, seed=seed)
+    acc = None
+    if test_X is not None and test_y is not None:
+        pred = rf_predict(trees, test_X)
+        acc = float((pred == test_y).mean())
+    return trees, acc

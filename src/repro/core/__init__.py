@@ -1,0 +1,62 @@
+"""MegaMmap core: the tiered, nonvolatile distributed shared memory.
+
+Public surface (mirrors the paper's C++ API in generator-coroutine
+form — every potentially blocking call is used as
+``result = yield from call(...)`` inside a simulated process):
+
+* :class:`~repro.core.system.MegaMmapSystem` — the runtime deployed
+  across the cluster (shared cache, workers, organizer, stager).
+* :class:`~repro.core.client.MegaMmapClient` — per-process library
+  handle (``ctx.mm`` inside applications).
+* :class:`~repro.core.vector.Vector` — the shared-memory vector.
+* Transactions: :class:`~repro.core.transaction.SeqTx`,
+  :class:`~repro.core.transaction.RandTx`,
+  :class:`~repro.core.transaction.StrideTx`, and the
+  :class:`~repro.core.transaction.Transaction` base for custom
+  patterns; intent flags ``MM_READ_ONLY`` etc.
+"""
+
+from repro.core.config import MegaMmapConfig, load_yaml_subset
+from repro.core.errors import (
+    MegaMmapError,
+    TransactionError,
+    VectorError,
+)
+from repro.core.coherence import CoherencePolicy
+from repro.core.transaction import (
+    MM_APPEND_ONLY,
+    MM_COLLECTIVE,
+    MM_GLOBAL,
+    MM_LOCAL,
+    MM_READ_ONLY,
+    MM_READ_WRITE,
+    MM_WRITE_ONLY,
+    PageRegion,
+    RandTx,
+    SeqTx,
+    StrideTx,
+    Transaction,
+    TxFlags,
+)
+
+__all__ = [
+    "CoherencePolicy",
+    "MM_APPEND_ONLY",
+    "MM_COLLECTIVE",
+    "MM_GLOBAL",
+    "MM_LOCAL",
+    "MM_READ_ONLY",
+    "MM_READ_WRITE",
+    "MM_WRITE_ONLY",
+    "MegaMmapConfig",
+    "MegaMmapError",
+    "PageRegion",
+    "RandTx",
+    "SeqTx",
+    "StrideTx",
+    "Transaction",
+    "TransactionError",
+    "TxFlags",
+    "VectorError",
+    "load_yaml_subset",
+]

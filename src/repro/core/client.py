@@ -1,0 +1,157 @@
+"""Per-process MegaMmap library handle.
+
+Each application rank links one :class:`MegaMmapClient`: it creates or
+attaches vectors by key, submits MemoryTasks to the owning node's
+runtime (paying the request's wire cost), and tracks outstanding
+asynchronous writer tasks so ``flush(wait=True)`` and barriers can
+drain them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.errors import VectorError
+from repro.core.memtask import MemoryTask, TaskKind
+from repro.core.shared import SharedVector
+from repro.core.vector import Vector
+from repro.sim import AllOf, Event
+
+#: Wire size of a task envelope (metadata without payload).
+TASK_ENVELOPE = 128
+
+
+class MegaMmapClient:
+    """One process's connection to the MegaMmap deployment."""
+
+    def __init__(self, system, rank: int, node: int):
+        self.system = system
+        self.rank = rank
+        self.node = node
+        self._outstanding: List[Event] = []
+
+    # -- vectors -------------------------------------------------------------
+    def vector(self, key: str, dtype=None, size: Optional[int] = None,
+               page_size: Optional[int] = None,
+               volatile: Optional[bool] = None):
+        """Create or attach the shared vector named ``key`` (generator).
+
+        Keys containing ``://`` denote nonvolatile vectors backed by
+        that URL; the length of an existing backing object is queried
+        transparently (Listing 1: "The vector size is the dataset size
+        ... divided by the size of Point3D"). Plain keys denote
+        volatile vectors (``size`` required on first creation).
+        """
+        shared = self.system.vectors.get(key)
+        if shared is None:
+            shared = yield from self._create(key, dtype, size, page_size,
+                                             volatile)
+        else:
+            if dtype is not None and np.dtype(dtype) != shared.dtype:
+                raise VectorError(
+                    f"dtype mismatch for {key!r}: vector has "
+                    f"{shared.dtype}, caller wants {np.dtype(dtype)}")
+            if page_size is not None and page_size != shared.page_size:
+                raise VectorError(
+                    f"page size is immutable after creation "
+                    f"({shared.page_size} != {page_size})")
+        return Vector(self, shared)
+
+    def _create(self, key, dtype, size, page_size, volatile):
+        if dtype is None:
+            raise VectorError(f"creating {key!r} requires a dtype")
+        cfg = self.system.config
+        if volatile is None:
+            volatile = "://" not in key
+        page_size = page_size or cfg.page_size
+        itemsize = np.dtype(dtype).itemsize
+        if page_size % itemsize:
+            page_size -= page_size % itemsize
+            if page_size < itemsize:
+                page_size = itemsize
+        shared = SharedVector(
+            name=key, dtype=dtype, page_size=page_size,
+            length=size or 0, volatile=volatile,
+            n_nodes=len(self.system.dmshs))
+        if not volatile:
+            backend = shared.ensure_backend(create=True)
+            existing = backend.size() // itemsize
+            if size is None:
+                shared.length = existing
+            elif existing and existing != size:
+                shared.length = max(size, existing)
+        if shared.length == 0 and size is None:
+            shared.length = 0
+        # Creation is a metadata operation at the coordinator.
+        coord = shared.coordinator_node
+        yield from self.system.network.transfer(self.node, coord, 128)
+        yield from self.system.network.transfer(coord, self.node, 128)
+        # Another process may have won the race while we yielded.
+        return self.system.vectors.setdefault(key, shared)
+
+    # -- task submission ---------------------------------------------------------
+    def submit(self, task: MemoryTask, wait: bool = True):
+        """Ship a MemoryTask to the owning node's runtime (generator).
+
+        ``wait=True`` returns the task result. ``wait=False`` returns
+        after the task is *enqueued* at the owner (per-page worker FIFO
+        then guarantees read-after-write for later tasks), with
+        completion tracked for :meth:`drain`.
+        """
+        vec = self.system.vectors[task.vector_name]
+        target = vec.owner_node(task.page_idx, task.client_node)
+        task.done = Event(self.system.sim)
+        nbytes = TASK_ENVELOPE + task.nbytes \
+            if task.kind is TaskKind.WRITE else TASK_ENVELOPE
+        yield from self.system.network.transfer(self.node, target, nbytes)
+        self.system.runtimes[target].submit(task)
+        if wait:
+            result = yield task.done
+            return result
+        self._outstanding.append(task.done)
+        return None
+
+    def submit_scores(self, shared: SharedVector, scores):
+        """Batch score updates to each page's owner node (generator;
+        fire-and-forget)."""
+        by_owner = {}
+        for page_idx, score, node_hint in scores:
+            owner = shared.owner_node(page_idx, self.node)
+            by_owner.setdefault(owner, []).append(
+                (page_idx, score, node_hint))
+        for owner, batch in by_owner.items():
+            task = MemoryTask(
+                kind=TaskKind.SCORE, vector_name=shared.name,
+                page_idx=batch[0][0], client_node=self.node,
+                scores=batch)
+            task.done = Event(self.system.sim)
+            self._outstanding.append(task.done)
+
+            def ship(t=task, o=owner):
+                yield from self.system.network.transfer(
+                    self.node, o, TASK_ENVELOPE)
+                self.system.runtimes[o].submit(t)
+
+            self.system.sim.process(ship(), name="score-ship")
+        if False:  # pragma: no cover - keeps this a generator
+            yield
+
+    def drain(self):
+        """Wait until every outstanding async task completed
+        (generator)."""
+        pending = [e for e in self._outstanding if not e.processed]
+        self._outstanding = []
+        if pending:
+            yield AllOf(self.system.sim, pending)
+
+    # -- pcache accounting ------------------------------------------------------------
+    def reserve_pcache(self, nbytes: int) -> None:
+        dram = self.system.dmshs[self.node].tiers[0]
+        dram.reserve(nbytes, strict=False)
+        self.system.monitor.count("pcache.bytes_reserved", nbytes)
+
+    def unreserve_pcache(self, nbytes: int) -> None:
+        dram = self.system.dmshs[self.node].tiers[0]
+        dram.unreserve(nbytes)

@@ -1,0 +1,56 @@
+"""MemoryTasks: the unit of work shipped to the MegaMmap runtime.
+
+Paper III-B: "During page fault, eviction, and flushing operations, the
+MegaMmap library constructs a MemoryTask that contains the subset of a
+page to read or update from the scache. The task will be placed in the
+queue and polled by the runtime, which will then be scheduled to a
+worker and executed."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.sim import Event
+
+
+class TaskKind(Enum):
+    READ = "read"
+    WRITE = "write"
+    SCORE = "score"
+    FLUSH = "flush"
+    DELETE = "delete"
+
+
+@dataclass
+class MemoryTask:
+    """One scheduled unit of scache work.
+
+    ``fragments`` for WRITE tasks: list of (page offset, bytes) — the
+    exact modified byte ranges, never the whole page unless the whole
+    page is dirty (partial paging, III-C).
+    ``region`` for READ tasks: (page offset, nbytes) to fetch; the
+    whole page when None.
+    ``scores`` for SCORE tasks: list of (page_idx, score, node_hint).
+    ``done`` fires with the result (bytes for READ, None otherwise).
+    """
+
+    kind: TaskKind
+    vector_name: str
+    page_idx: int
+    client_node: int
+    region: Optional[Tuple[int, int]] = None
+    fragments: List[Tuple[int, bytes]] = field(default_factory=list)
+    scores: List[Tuple[int, float, int]] = field(default_factory=list)
+    done: Optional[Event] = None
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size used for the low/high-latency worker split."""
+        if self.kind is TaskKind.READ:
+            return self.region[1] if self.region else 1 << 30
+        if self.kind is TaskKind.WRITE:
+            return sum(len(d) for _, d in self.fragments)
+        return 0

@@ -1,0 +1,108 @@
+"""The Data Organizer: score-driven tier placement (paper III-D).
+
+"The Data Organizer is responsible for interpreting the scores
+supplied by the prefetcher. Score updates to the same page will all be
+hashed to the same worker. Periodically (configurable by the user) the
+Data Organizer interprets the scores and determines the node and tier
+where data should be placed. ... The organizer will take the maximum
+of scores if several processes score the same page within a
+configurable timeframe. ... If a node sets a high score for a page,
+the organizer will store the page on that node."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.shared import SharedVector
+from repro.hermes.blob import BlobNotFound
+from repro.hermes.dpe import PlacementError
+from repro.storage.device import DeviceFullError
+
+
+@dataclass
+class _Pending:
+    score: float
+    node_hint: int
+    stamp: float
+
+
+class DataOrganizer:
+    """Per-deployment organizer; one sweep process per node."""
+
+    #: Pages scoring at or above this prefer the hinting node.
+    AFFINITY_THRESHOLD = 0.9
+
+    def __init__(self, system):
+        self.system = system
+        self.sim = system.sim
+        self._pending: Dict[Tuple[str, int], _Pending] = {}
+        self._stop = False
+
+    # -- ingest (called by SCORE MemoryTasks) ---------------------------------
+    def ingest(self, vec: SharedVector, scores) -> None:
+        """Record score updates; max-merge within the score window."""
+        window = self.system.config.score_window
+        now = self.sim.now
+        for page_idx, score, node_hint in scores:
+            key = (vec.name, page_idx)
+            cur = self._pending.get(key)
+            if cur is not None and now - cur.stamp <= window:
+                if score > cur.score:
+                    cur.score = score
+                    cur.node_hint = node_hint
+                cur.stamp = max(cur.stamp, now)
+            else:
+                self._pending[key] = _Pending(score, node_hint, now)
+            self.system.hermes.set_score(vec.name, page_idx, score)
+            self.system.monitor.count("organizer.scores")
+
+    # -- periodic placement sweep ----------------------------------------------
+    def sweep(self, node: int):
+        """Apply pending scores: promote/demote/relocate page blobs."""
+        hermes = self.system.hermes
+        # Demotions (low scores) first: they free fast-tier capacity
+        # that the promotions in the same sweep then use.
+        ordered = sorted(self._pending.items(), key=lambda kv: kv[1].score)
+        for (vec_name, page_idx), pend in ordered:
+            vec = self.system.vectors.get(vec_name)
+            if vec is None or vec.destroyed:
+                self._pending.pop((vec_name, page_idx), None)
+                continue
+            info = hermes.mdm.peek(vec_name, page_idx)
+            if info is None:
+                # Not materialized yet; keep the score for later.
+                continue
+            # Only the node owning the blob (or the hinted node) acts,
+            # so concurrent sweeps on different nodes do not fight.
+            target_node = info.node
+            if (pend.score >= self.AFFINITY_THRESHOLD
+                    and pend.node_hint != info.node):
+                target_node = pend.node_hint
+            if target_node != node and info.node != node:
+                continue
+            dmsh = self.system.dmshs[target_node]
+            desired = dmsh.tier_for_score(pend.score, info.nbytes)
+            if desired is None:
+                continue
+            if (desired.spec.kind != info.tier
+                    or target_node != info.node):
+                try:
+                    yield from hermes.move(vec_name, page_idx,
+                                           target_node, desired.spec.kind)
+                    self.system.monitor.count("organizer.moves")
+                except (BlobNotFound, PlacementError, DeviceFullError):
+                    pass
+            self._pending.pop((vec_name, page_idx), None)
+
+    def run(self, node: int):
+        """Background sweep loop for one node."""
+        period = self.system.config.organizer_period
+        while not self._stop:
+            yield self.sim.timeout(period)
+            if self.system.config.organizer_enabled:
+                yield from self.sweep(node)
+
+    def stop(self) -> None:
+        self._stop = True

@@ -1,0 +1,140 @@
+"""The private-cache prefetcher — Algorithm 1 of the paper.
+
+Runs client-side whenever a transaction's ``tail`` advances across a
+page boundary (an *acknowledgment point*):
+
+1. **Evict** — pages touched since the last acknowledgment
+   (``Tx[Head, Tail)``) are scored 0 and evicted from the pcache,
+   unless the next pcache-full window (``Tx[Tail, Tail+N)``) will
+   retouch them (scored 1).
+2. **Prefetch** — future pages that fit in the remaining pcache budget
+   are scored 1 (and asynchronously pulled into the pcache); pages
+   beyond that are scored by time-to-fault: ``Score =
+   BaseTime/EstTime``, stopping below ``MinScore``.
+
+Transcription fix (documented in DESIGN.md): the paper's pseudocode
+line 29 prints ``Score = EstTime/BaseTime``, which grows without bound
+and never terminates its ``while Score > MinScore`` loop; the prose
+defines the score as "a number between 0 and 1 ... proportional to the
+minimum amount of time before a page fault could occur", which is the
+decaying ratio implemented here.
+
+All scores carry the scoring node's id so the Data Organizer can
+honour locality (III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.transaction import Transaction
+
+
+class Prefetcher:
+    """Bound to one client-side :class:`~repro.core.vector.Vector`."""
+
+    def __init__(self, vector):
+        self.vector = vector
+
+    def on_advance(self, tx: Transaction):
+        """The PREFETCHER function of Algorithm 1. Generator."""
+        vec = self.vector
+        if not vec.client.system.config.prefetch_enabled:
+            tx.head = tx.tail
+            return
+        scores = self._evict_scores(tx)
+        for page_idx, score in self._prefetch_scores(tx).items():
+            # Max-merge: a page both recently touched (0) and upcoming
+            # (1) keeps the higher score — the organizer applies the
+            # same max rule across processes (III-D).
+            if score > scores.get(page_idx, -1.0):
+                scores[page_idx] = score
+        yield from self._apply(tx, scores)
+        tx.head = tx.tail
+
+    # -- EVICT (Algorithm 1 lines 6-15) --------------------------------------
+    def _evict_scores(self, tx: Transaction) -> Dict[int, float]:
+        vec = self.vector
+        n_pages_window = max(1, vec.pcache_budget // vec.shared.page_size)
+        scores: Dict[int, float] = {}
+        for region in tx.get_touched_pages():
+            scores[region.page_idx] = 0.0
+        # Pages that will be touched within one full-pcache window keep
+        # score 1 (they may be retouched; do not evict).
+        window = n_pages_window * vec.shared.elems_per_page
+        for region in tx.get_future_pages(window):
+            scores[region.page_idx] = 1.0
+        return scores
+
+    # -- PREFETCH (Algorithm 1 lines 16-33) -----------------------------------
+    def _prefetch_scores(self, tx: Transaction) -> Dict[int, float]:
+        vec = self.vector
+        cfg = vec.client.system.config
+        page_size = vec.shared.page_size
+        free = max(0, vec.pcache_budget - vec.pcache_used)
+        n = free // page_size
+        scores: Dict[int, float] = {}
+        epp = vec.shared.elems_per_page
+        near = tx.get_pages(tx.tail, n * epp)
+        base_time = 0.0
+        for region in near:
+            scores[region.page_idx] = 1.0
+            base_time += self._fetch_time(region.page_idx,
+                                          region.size or page_size)
+        if base_time <= 0.0:
+            base_time = self._fetch_time(None, page_size)
+        # Score the horizon beyond the free window until MinScore.
+        est_time = base_time
+        pos = tx.tail + sum(r.size for r in near) // vec.shared.itemsize
+        score = 1.0
+        while score > cfg.min_score and pos < tx.count:
+            regions = tx.get_pages(pos, epp)
+            if not regions:
+                break
+            region = regions[0]
+            est_time += self._fetch_time(region.page_idx,
+                                         region.size or page_size)
+            score = base_time / est_time
+            if region.page_idx not in scores:
+                scores[region.page_idx] = score
+            pos += max(1, region.size // vec.shared.itemsize)
+        return scores
+
+    def _fetch_time(self, page_idx, nbytes: int) -> float:
+        """Theoretical time to read a page from the scache given the
+        bandwidth of the tier it currently sits on (Algorithm 1 line
+        21: ``Page.GetSize()/T.BW``)."""
+        vec = self.vector
+        system = vec.client.system
+        if page_idx is not None:
+            info = system.hermes.mdm.peek(vec.shared.name, page_idx)
+            if info is not None:
+                dev = system.dmshs[info.node].tier(info.tier)
+                t = dev.spec.xfer_time(nbytes, write=False)
+                t += system.network.transfer_time(
+                    info.node, vec.client.node, nbytes)
+                return t
+        # Unmaterialized page: assume a backend (PFS) fetch.
+        slowest = system.dmshs[vec.client.node].tiers[-1]
+        return slowest.spec.xfer_time(nbytes, write=False)
+
+    # -- applying the decisions -----------------------------------------------
+    def _apply(self, tx: Transaction, scores: Dict[int, float]):
+        vec = self.vector
+        # EvictIfZeroScore over the touched window.
+        for page_idx, score in scores.items():
+            if score == 0.0:
+                yield from vec.evict_page(page_idx)
+        # Asynchronous pcache read-ahead for score-1 future pages that
+        # are not resident yet.
+        if not tx.writes:
+            for page_idx, score in scores.items():
+                if score >= 1.0:
+                    vec.prefetch_page(page_idx)
+        # Ship all scores (with our node id) to the Data Organizer.
+        batched: List[Tuple[int, float, int]] = [
+            (page_idx, score, vec.client.node)
+            for page_idx, score in scores.items()
+        ]
+        if batched:
+            yield from vec.client.submit_scores(vec.shared, batched)

@@ -1,0 +1,222 @@
+"""Reliability extensions (paper §V, Node Failure & Memory Corruption).
+
+The paper: "Currently, MegaMmap assumes that the nodes are reliable
+... However, the MegaMmap runtime could be extended to support
+reliability and fault tolerance by implementing replication [65]" and
+"there are algorithms such as error correcting codes that MegaMmap
+could implement to ensure that data remains correct."
+
+This module implements both extensions:
+
+* **Durability replication** — with ``replication_factor = k`` in
+  :class:`~repro.core.config.MegaMmapConfig`, every scache page write
+  places ``k-1`` additional copies on *other* nodes (round-robin from
+  the primary). :func:`fail_node` drops a node's devices; reads fail
+  over to a surviving replica and the page is re-replicated lazily.
+* **Integrity checksums** — every page write records a CRC32; reads
+  verify it. :func:`corrupt_page` flips bits in a stored blob (the
+  DRAM bit-flip of §V); a checksum mismatch triggers recovery from a
+  replica or, for persisted pages, a backend re-stage.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.errors import MegaMmapError
+from repro.hermes.blob import BlobNotFound
+
+
+class CorruptionError(MegaMmapError):
+    """A page failed its integrity check and could not be recovered."""
+
+
+class NodeFailedError(MegaMmapError):
+    """Data lived only on a failed node and has no replica/backend."""
+
+
+class ReliabilityManager:
+    """Replication + integrity layer over the scache."""
+
+    def __init__(self, system):
+        self.system = system
+        self.checksums: Dict[Tuple[str, object], int] = {}
+        self.failed_nodes: Set[int] = set()
+
+    # -- configuration -----------------------------------------------------
+    @property
+    def factor(self) -> int:
+        return max(1, getattr(self.system.config, "replication_factor",
+                              1))
+
+    @property
+    def enabled(self) -> bool:
+        return self.factor > 1
+
+    # -- checksums -----------------------------------------------------------
+    def record(self, vec_name: str, page_idx: int, data: bytes) -> None:
+        self.checksums[(vec_name, page_idx)] = zlib.crc32(data)
+
+    def verify(self, vec_name: str, page_idx: int, data: bytes) -> bool:
+        expected = self.checksums.get((vec_name, page_idx))
+        return expected is None or zlib.crc32(data) == expected
+
+    # -- replication ------------------------------------------------------------
+    def replicate_page(self, vec, page_idx: int):
+        """Place ``factor - 1`` durability copies on other nodes.
+        Generator (timed)."""
+        if not self.enabled:
+            return
+        hermes = self.system.hermes
+        info = hermes.mdm.peek(vec.name, page_idx)
+        if info is None:
+            return
+        n_nodes = len(self.system.dmshs)
+        raw = None
+        wanted = []
+        for i in range(1, self.factor):
+            node = (info.node + i) % n_nodes
+            if node == info.node or node in self.failed_nodes:
+                continue
+            if any(rn == node for rn, _ in info.replicas):
+                continue
+            wanted.append(node)
+        for node in wanted:
+            if raw is None:
+                raw = yield from hermes.get(info.node, vec.name,
+                                            page_idx)
+            dev = self.system.dmshs[node].fastest_with_room(len(raw))
+            if dev is None:
+                continue
+            yield from self.system.network.transfer(info.node, node,
+                                                    len(raw))
+            from repro.storage.device import DeviceFullError
+            try:
+                yield from dev.put((vec.name, page_idx), raw)
+            except DeviceFullError:
+                continue
+            info.replicas.append((node, dev.spec.kind))
+            self.system.monitor.count("reliability.replicas")
+
+    def repair_loop(self):
+        """Background replica repair: organizer moves can absorb a
+        replica into the primary's location, and failures drop copies;
+        this service periodically tops every page back up to
+        ``factor`` distinct-node copies (the standard repair process
+        of replicated stores). Generator service."""
+        period = 4 * self.system.config.organizer_period
+        while True:
+            yield self.system.sim.timeout(period)
+            if not self.enabled:
+                continue
+            for info in list(self.system.hermes.mdm.all_blobs()):
+                vec = self.system.vectors.get(info.bucket)
+                if vec is None or vec.destroyed or info.node < 0:
+                    continue
+                distinct = {info.node} | {n for n, _ in info.replicas}
+                if len(distinct) < self.factor:
+                    yield from self.replicate_page(vec, info.key)
+
+    # -- failure injection ----------------------------------------------------------
+    def fail_node(self, node: int) -> int:
+        """Crash a node: drop every blob (primary or replica) it held.
+
+        Returns the number of blob copies lost. Metadata survives (the
+        MDM is assumed replicated; the paper's extension concerns data).
+        Primaries lost with a surviving replica are promoted.
+        """
+        self.failed_nodes.add(node)
+        lost = 0
+        hermes = self.system.hermes
+        for dmsh in [self.system.dmshs[node]]:
+            for dev in dmsh:
+                for key in list(dev.keys()):
+                    dev.delete(key)
+                    lost += 1
+        for info in list(hermes.mdm.all_blobs()):
+            info.replicas = [(n, t) for n, t in info.replicas
+                             if n != node]
+            if info.node == node:
+                if info.replicas:
+                    info.node, info.tier = info.replicas.pop(0)
+                    self.system.monitor.count("reliability.promotions")
+                else:
+                    info.node = -1  # data gone (unless on the backend)
+        return lost
+
+    # -- recovery ---------------------------------------------------------------------
+    def recover_page(self, vec, page_idx: int, client_node: int):
+        """Re-materialize a page whose primary was lost or corrupted.
+
+        Order: surviving replica -> persistent backend -> error.
+        Generator; returns the page bytes.
+        """
+        hermes = self.system.hermes
+        info = hermes.mdm.peek(vec.name, page_idx)
+        if info is not None:
+            # Try every surviving copy (primary first, then replicas)
+            # until one passes the integrity check.
+            for node, tier in info.placements:
+                if node < 0 or node in self.failed_nodes:
+                    continue
+                dev = self.system.dmshs[node].tier(tier)
+                if (vec.name, page_idx) not in dev:
+                    continue
+                raw = yield from dev.get((vec.name, page_idx))
+                yield from self.system.network.transfer(
+                    node, client_node, len(raw))
+                if self.verify(vec.name, page_idx, raw):
+                    if (node, tier) != (info.node, info.tier):
+                        # Repair: the surviving replica becomes
+                        # primary; the bad copy is dropped.
+                        old_node, old_tier = info.node, info.tier
+                        if 0 <= old_node < len(self.system.dmshs) \
+                                and old_node not in self.failed_nodes:
+                            old_dev = self.system.dmshs[old_node] \
+                                .tier(old_tier)
+                            if (vec.name, page_idx) in old_dev:
+                                old_dev.delete((vec.name, page_idx))
+                        if (node, tier) in info.replicas:
+                            info.replicas.remove((node, tier))
+                        info.node, info.tier = node, tier
+                        self.system.monitor.count(
+                            "reliability.promotions")
+                    return raw
+        # Drop the bad entry and re-stage from the backend if possible.
+        if info is not None:
+            try:
+                yield from hermes.delete(client_node, vec.name, page_idx)
+            except BlobNotFound:
+                pass
+        if vec.volatile or page_idx in vec.dirty_pages:
+            raise NodeFailedError(
+                f"page {page_idx} of {vec.name!r} lost: no replica and "
+                f"no persisted copy")
+        raw = yield from self.system.stager.stage_in(vec, page_idx,
+                                                     client_node)
+        target = vec.owner_node(page_idx, client_node)
+        if target in self.failed_nodes:
+            target = client_node
+        yield from hermes.put(client_node, vec.name, page_idx, raw,
+                              target_node=target)
+        self.record(vec.name, page_idx, raw)
+        self.system.monitor.count("reliability.restages")
+        return raw
+
+
+def corrupt_page(system, vec_name: str, page_idx: int,
+                 byte_offset: int = 0) -> bool:
+    """Test hook: flip a bit of a stored page blob (a DRAM bit flip,
+    paper §V Memory Corruption). Returns True if a blob was hit."""
+    info = system.hermes.mdm.peek(vec_name, page_idx)
+    if info is None:
+        return False
+    dev = system.dmshs[info.node].tier(info.tier)
+    key = (vec_name, page_idx)
+    if key not in dev:
+        return False
+    raw = bytearray(dev.peek(key))
+    raw[byte_offset % len(raw)] ^= 0x01
+    dev._blobs[key] = bytes(raw)
+    return True

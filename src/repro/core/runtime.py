@@ -1,0 +1,120 @@
+"""The per-node MegaMmap runtime: queue, scheduler, worker pools.
+
+Paper III-B: the runtime "is a process running separate from
+applications that manages the scache. The runtime can dedicate a
+configurable maximum number of CPU cores and dynamically adjusts the
+number of cores based on experienced load using an approach similar to
+LabStor." Scheduling rules implemented here:
+
+* MemoryTasks for the same page hash to the same worker **queue**
+  (strong consistency / read-after-write: one FIFO per page);
+* tasks under 16 KB execute on the **low-latency** CPU core pool,
+  larger ones on the high-latency pool, so latency-sensitive requests
+  of other pages are never stalled behind bulk transfers;
+* the high-latency pool's core count is adjusted with load by the
+  scaling controller (LabStor-style).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.memtask import MemoryTask, TaskKind
+from repro.core.scache import ScacheExecutor
+from repro.sim import Resource, Store
+from repro.sim.rand import spawn_seed
+
+
+class NodeRuntime:
+    """One node's runtime process group."""
+
+    def __init__(self, system, node_id: int):
+        self.system = system
+        self.node_id = node_id
+        self.sim = system.sim
+        cfg = system.config
+        self.executor = ScacheExecutor(system, node_id)
+        self.queue: Store = Store(self.sim, name=f"rt{node_id}.queue")
+        n_workers = cfg.low_latency_workers + cfg.high_latency_workers
+        self._stores: List[Store] = [
+            Store(self.sim, name=f"rt{node_id}.w{i}")
+            for i in range(n_workers)]
+        # Dedicated CPU core pools per size class (III-B: low-latency
+        # workers "are scheduled on different CPU cores from
+        # high-latency workers"). The high pool scales dynamically.
+        self.low_cores = Resource(self.sim, capacity=cfg.low_latency_workers,
+                                  name=f"rt{node_id}.lowcores")
+        self.high_cores = Resource(self.sim, capacity=cfg.workers_min,
+                                   name=f"rt{node_id}.highcores")
+        self.inflight = 0
+        self._procs = [self.sim.process(self._scheduler(),
+                                        name=f"rt{node_id}.sched")]
+        for i, store in enumerate(self._stores):
+            self._procs.append(self.sim.process(
+                self._worker(store), name=f"rt{node_id}.w{i}"))
+        self._procs.append(self.sim.process(
+            self._scaling_controller(), name=f"rt{node_id}.scale"))
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, task: MemoryTask) -> None:
+        self.inflight += 1
+        self.queue.put(task)
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue) + sum(len(s) for s in self._stores)
+
+    @property
+    def idle(self) -> bool:
+        return self.inflight == 0
+
+    # -- processes ---------------------------------------------------------------
+    def _scheduler(self):
+        while True:
+            task = yield self.queue.get()
+            idx = spawn_seed(0xBEEF, task.vector_name,
+                             task.page_idx) % len(self._stores)
+            self._stores[idx].put(task)
+
+    def _worker(self, store: Store):
+        cfg = self.system.config
+        while True:
+            task = yield store.get()
+            pool = self.low_cores \
+                if task.nbytes < cfg.low_latency_threshold \
+                else self.high_cores
+            req = pool.request()
+            yield req
+            try:
+                result = yield from self.executor.execute(task)
+                if task.done is not None:
+                    task.done.succeed(result)
+            except (GeneratorExit, KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                if task.done is not None:
+                    task.done.fail(exc)
+                else:
+                    raise
+            finally:
+                self.inflight -= 1
+                pool.release(req)
+
+    def _scaling_controller(self):
+        """Grow the high-latency pool's core count under backlog and
+        shrink when idle (paper III-B, LabStor-style)."""
+        cfg = self.system.config
+        while True:
+            yield self.sim.timeout(cfg.organizer_period)
+            backlog = self.backlog
+            cap = self.high_cores.capacity
+            if backlog > 2 * cap and cap < cfg.workers_max:
+                self.high_cores.set_capacity(cap + 1)
+                self.system.monitor.count(f"rt{self.node_id}.scale_up")
+            elif backlog == 0 and cap > cfg.workers_min:
+                self.high_cores.set_capacity(cap - 1)
+
+    # Backwards-compatible alias used by tests/stats.
+    @property
+    def cores(self) -> Resource:
+        return self.high_cores

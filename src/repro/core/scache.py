@@ -1,0 +1,217 @@
+"""Shared-cache executor: how runtime workers act on MemoryTasks.
+
+The scache is the distributed, tiered, coherent page store (paper
+III-B). Pages are Hermes blobs in the bucket named after the vector;
+this module implements the read / write / score / flush / delete task
+semantics on top of Hermes + the Data Stager, honouring the vector's
+coherence policy (replication for READ_ONLY_GLOBAL, partial-fragment
+updates, replica invalidation on writes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coherence import CoherencePolicy
+from repro.core.errors import MegaMmapError
+from repro.core.memtask import MemoryTask, TaskKind
+from repro.core.shared import SharedVector
+from repro.hermes.blob import BlobNotFound
+
+
+class ScacheExecutor:
+    """Executes MemoryTasks on behalf of one node's runtime workers."""
+
+    def __init__(self, system, node_id: int):
+        self.system = system
+        self.node_id = node_id
+        self.sim = system.sim
+
+    def execute(self, task: MemoryTask):
+        """Dispatch one task. Generator; returns the READ payload or
+        None."""
+        vec = self.system.vectors.get(task.vector_name)
+        if vec is None or vec.destroyed:
+            raise MegaMmapError(
+                f"task for unknown/destroyed vector {task.vector_name!r}")
+        if task.kind is TaskKind.READ:
+            return (yield from self._read(vec, task))
+        if task.kind is TaskKind.WRITE:
+            return (yield from self._write(vec, task))
+        if task.kind is TaskKind.SCORE:
+            self.system.organizer.ingest(vec, task.scores)
+            return None
+        if task.kind is TaskKind.FLUSH:
+            yield from self.system.stager.stage_out(
+                vec, task.page_idx, self.node_id)
+            return None
+        if task.kind is TaskKind.DELETE:
+            yield from self._delete(vec, task)
+            return None
+        raise MegaMmapError(f"unknown task kind {task.kind}")
+
+    # -- page materialization ------------------------------------------------
+    def ensure_page(self, vec: SharedVector, page_idx: int,
+                    client_node: int, score: float = 1.0):
+        """Materialize the page blob in the scache if absent.
+
+        Missing nonvolatile pages stage in from the backend; missing
+        volatile pages are zero-filled. Generator; returns BlobInfo.
+        """
+        hermes = self.system.hermes
+        info = yield from hermes.mdm.try_get(self.node_id, vec.name,
+                                             page_idx)
+        want = vec.page_nbytes(page_idx)
+        if info is not None:
+            if info.nbytes < want:
+                # The vector grew (append): extend the blob in place.
+                raw = yield from hermes.get(self.node_id, vec.name,
+                                            page_idx)
+                raw = raw + bytes(want - len(raw))
+                info = yield from hermes.put(
+                    self.node_id, vec.name, page_idx, raw,
+                    score=info.score, target_node=info.node)
+            return info
+        lock = self.system.stager.extent_lock(vec, page_idx)
+        yield lock.acquire()
+        try:
+            # Re-check under the lock: a concurrent fault may have
+            # created the page (replacing it would lose its writes).
+            info = yield from hermes.mdm.try_get(self.node_id, vec.name,
+                                                 page_idx)
+            if info is not None:
+                return info
+            staged = yield from self.system.stager.stage_in_extent(
+                vec, page_idx, self.node_id)
+            for p, raw in staged:
+                if p != page_idx and hermes.mdm.peek(vec.name, p) \
+                        is not None:
+                    continue
+                owner = vec.owner_node(p, client_node)
+                put_info = yield from hermes.put(
+                    self.node_id, vec.name, p, raw, score=score,
+                    target_node=owner)
+                if p == page_idx:
+                    info = put_info
+        finally:
+            lock.release()
+        if info is None:
+            # A concurrent fault published our page while we waited.
+            info = yield from hermes.mdm.try_get(self.node_id, vec.name,
+                                                 page_idx)
+        return info
+
+    # -- reads ----------------------------------------------------------------
+    def _read(self, vec: SharedVector, task: MemoryTask):
+        hermes = self.system.hermes
+        rel = self.system.reliability
+        # Failure handling (§V extension): a lost primary recovers from
+        # a surviving replica or the persistent backend.
+        info = hermes.mdm.peek(vec.name, task.page_idx)
+        if info is not None and (info.node < 0
+                                 or info.node in rel.failed_nodes):
+            raw = yield from rel.recover_page(vec, task.page_idx,
+                                              task.client_node)
+            if task.region is None:
+                return raw
+            off, size = task.region
+            return raw[off:off + size]
+        yield from self.ensure_page(vec, task.page_idx, task.client_node)
+        replicate = (vec.policy is CoherencePolicy.READ_ONLY_GLOBAL
+                     and task.client_node != self.node_id)
+        if replicate and (task.region is None
+                          or task.region[1] >= vec.page_nbytes(
+                              task.page_idx)):
+            raw = yield from hermes.replicate(task.client_node, vec.name,
+                                              task.page_idx)
+            if self.system.config.integrity_checks \
+                    and not rel.verify(vec.name, task.page_idx, raw):
+                self.system.monitor.count("reliability.corruptions")
+                # Recover a verified copy (tries every placement,
+                # promotes the good one, drops the corrupted copy).
+                raw = yield from rel.recover_page(vec, task.page_idx,
+                                                  task.client_node)
+            info = hermes.mdm.peek(vec.name, task.page_idx)
+            if info is not None and info.replicas:
+                vec.replicated_pages.add(task.page_idx)
+            self.system.monitor.count("scache.reads")
+            if task.region is None:
+                return raw
+            off, size = task.region
+            return raw[off:off + size]
+        self.system.monitor.count("scache.reads")
+        page_nbytes = vec.page_nbytes(task.page_idx)
+        whole = task.region is None or task.region == (0, page_nbytes)
+        if whole:
+            raw = yield from hermes.get(task.client_node, vec.name,
+                                        task.page_idx)
+            if self.system.config.integrity_checks \
+                    and not rel.verify(vec.name, task.page_idx, raw):
+                # Bit flip detected (§V): recover a good copy.
+                self.system.monitor.count("reliability.corruptions")
+                raw = yield from rel.recover_page(vec, task.page_idx,
+                                                  task.client_node)
+            if task.region is None:
+                return raw
+            return raw[:task.region[1]]
+        off, size = task.region
+        return (yield from hermes.get_partial(
+            task.client_node, vec.name, task.page_idx, off, size))
+
+    # -- writes ----------------------------------------------------------------
+    def _write(self, vec: SharedVector, task: MemoryTask):
+        hermes = self.system.hermes
+        page_nbytes = vec.page_nbytes(task.page_idx)
+        whole_page = (len(task.fragments) == 1
+                      and task.fragments[0][0] == 0
+                      and len(task.fragments[0][1]) == page_nbytes)
+        # Pages of write/append-only phases are not read back soon:
+        # a lower score lets hotter (about-to-be-read) pages keep the
+        # fast tiers.
+        score = 0.5 if vec.policy in (
+            CoherencePolicy.WRITE_ONLY_GLOBAL,
+            CoherencePolicy.APPEND_ONLY_GLOBAL) else 1.0
+        info = yield from hermes.mdm.try_get(self.node_id, vec.name,
+                                             task.page_idx)
+        if info is None and whole_page:
+            # Write-allocate: no need to stage in data we fully replace.
+            owner = vec.owner_node(task.page_idx, task.client_node)
+            yield from hermes.put(self.node_id, vec.name, task.page_idx,
+                                  task.fragments[0][1], score=score,
+                                  target_node=owner)
+        else:
+            yield from self.ensure_page(vec, task.page_idx,
+                                        task.client_node, score=score)
+            for off, data in task.fragments:
+                if off < 0 or off + len(data) > page_nbytes:
+                    raise MegaMmapError(
+                        f"fragment [{off}, {off + len(data)}) outside page "
+                        f"of {page_nbytes} bytes")
+                yield from hermes.put_partial(
+                    self.node_id, vec.name, task.page_idx, off, data)
+        vec.dirty_pages.add(task.page_idx)
+        vec.replicated_pages.discard(task.page_idx)
+        self.system.monitor.count("scache.writes")
+        rel = self.system.reliability
+        if self.system.config.integrity_checks or rel.enabled:
+            info = hermes.mdm.peek(vec.name, task.page_idx)
+            if info is not None and info.node >= 0:
+                dev = self.system.dmshs[info.node].tier(info.tier)
+                if (vec.name, task.page_idx) in dev:
+                    rel.record(vec.name, task.page_idx,
+                               dev.peek((vec.name, task.page_idx)))
+        if rel.enabled:
+            # Durability copies ship asynchronously (off the write's
+            # critical path, like the paper's async eviction).
+            self.sim.process(
+                rel.replicate_page(vec, task.page_idx),
+                name=f"replicate {vec.name}[{task.page_idx}]")
+        return None
+
+    def _delete(self, vec: SharedVector, task: MemoryTask):
+        try:
+            yield from self.system.hermes.delete(
+                self.node_id, vec.name, task.page_idx)
+        except BlobNotFound:
+            pass
+        vec.dirty_pages.discard(task.page_idx)

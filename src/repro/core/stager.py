@@ -1,0 +1,186 @@
+"""The Data Stager: transparent (de)serialization to persistent backends.
+
+Paper III-B (Persistently Integrating Memory with Storage): "the Data
+Stager is responsible for serializing, deserializing, and flushing
+content to the backend ... Periodically and during the termination of
+the runtime, the stager task will be scheduled to serialize pages in
+the scache and persist them. During a page fault, if a page is not
+present in the scache, the stager will be invoked to read and
+deserialize a subset of data from the persistent backend."
+
+Stage-out is real: the backing file on disk ends up bit-exact with the
+vector. Time is charged through the PFS model (the paper's backends
+live on a parallel filesystem).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.shared import SharedVector
+from repro.sim import Lock
+from repro.hermes.blob import BlobNotFound
+from repro.storage.pfs import ParallelFS
+
+
+class DataStager:
+    """Per-deployment stager (one background flusher per node)."""
+
+    def __init__(self, system):
+        self.system = system
+        self.sim = system.sim
+        self._stop = False
+        self._extent_locks = {}
+
+    # -- timing helper -----------------------------------------------------
+    def _charge_backend(self, node: int, nbytes: int, write: bool,
+                        offset: int = 0):
+        pfs: Optional[ParallelFS] = self.system.pfs
+        if pfs is None:
+            return
+        yield from pfs._striped(node, offset, nbytes, write=write)
+
+    # -- stage-in -------------------------------------------------------------
+    def stage_in(self, vec: SharedVector, page_idx: int, node: int):
+        """Read one page's bytes from the persistent backend. Generator;
+        returns the page bytes (zero-filled for volatile vectors or
+        regions the backend does not cover)."""
+        nbytes = vec.page_nbytes(page_idx)
+        if vec.volatile:
+            return bytes(nbytes)
+        backend = vec.ensure_backend()
+        start = page_idx * vec.page_size
+        avail = max(0, min(nbytes, backend.size() - start))
+        if avail <= 0:
+            return bytes(nbytes)
+        yield from self._charge_backend(node, avail, write=False,
+                                        offset=start)
+        raw = backend.read_range(start, avail)
+        if avail < nbytes:
+            raw += bytes(nbytes - avail)
+        self.system.monitor.count("stager.bytes_in", avail)
+        return raw
+
+    def stage_in_extent(self, vec: SharedVector, page_idx: int,
+                        node: int):
+        """Bulk stage-in: read the aligned extent containing
+        ``page_idx`` in few backend requests (amortizing the PFS
+        request latency, as the paper's bulk stager does). Only pages
+        not yet materialized in the scache are read; an extent lock
+        prevents concurrent faults from staging the same bytes twice.
+        Generator; returns [(page_idx, bytes), ...] for the missing
+        pages (possibly empty if a concurrent fault staged them).
+        """
+        if vec.volatile:
+            return [(page_idx, bytes(vec.page_nbytes(page_idx)))]
+        extent = max(self.system.config.stage_extent, vec.page_size)
+        pages_per_extent = max(1, extent // vec.page_size)
+        first = (page_idx // pages_per_extent) * pages_per_extent
+        last = min(first + pages_per_extent, vec.n_pages)
+        mdm = self.system.hermes.mdm
+        missing = [p for p in range(first, last)
+                   if mdm.peek(vec.name, p) is None]
+        if not missing:
+            return []
+        backend = vec.ensure_backend()
+        out = []
+        # Charge/read contiguous missing runs in single requests.
+        run_start = 0
+        runs = []
+        for i in range(1, len(missing) + 1):
+            if i == len(missing) or missing[i] != missing[i - 1] + 1:
+                runs.append((missing[run_start], missing[i - 1]))
+                run_start = i
+        for lo, hi in runs:
+            start = lo * vec.page_size
+            span = sum(vec.page_nbytes(p) for p in range(lo, hi + 1))
+            avail = max(0, min(span, backend.size() - start))
+            if avail > 0:
+                yield from self._charge_backend(
+                    node, avail, write=False, offset=start)
+                raw = backend.read_range(start, avail)
+            else:
+                raw = b""
+            raw += bytes(span - len(raw))
+            self.system.monitor.count("stager.bytes_in", avail)
+            off = 0
+            for p in range(lo, hi + 1):
+                n = vec.page_nbytes(p)
+                out.append((p, raw[off:off + n]))
+                off += n
+        out.sort(key=lambda item: item[0] != page_idx)
+        return out
+
+    def extent_lock(self, vec: SharedVector, page_idx: int) -> Lock:
+        """Lock guarding one stage-in extent; the caller (the scache
+        executor) holds it across stage + publish so concurrent faults
+        in the same extent never duplicate the backend read."""
+        extent = max(self.system.config.stage_extent, vec.page_size)
+        pages_per_extent = max(1, extent // vec.page_size)
+        first = (page_idx // pages_per_extent) * pages_per_extent
+        key = (vec.name, first)
+        lock = self._extent_locks.get(key)
+        if lock is None:
+            lock = self._extent_locks[key] = Lock(self.sim)
+        return lock
+
+    # -- stage-out -------------------------------------------------------------
+    def stage_out(self, vec: SharedVector, page_idx: int, node: int):
+        """Persist one scache page to the backend. Generator."""
+        if vec.volatile:
+            vec.dirty_pages.discard(page_idx)
+            return
+        try:
+            raw = yield from self.system.hermes.get(
+                node, vec.name, page_idx)
+        except BlobNotFound:
+            vec.dirty_pages.discard(page_idx)
+            return
+        backend = vec.ensure_backend()
+        start = page_idx * vec.page_size
+        backend.ensure_size(start + len(raw))
+        yield from self._charge_backend(node, len(raw), write=True)
+        backend.write_range(start, raw)
+        vec.dirty_pages.discard(page_idx)
+        # Persisted pages are cold: zero the score so the organizer /
+        # placement demotes them aggressively to make room for new
+        # data (paper IV-B3).
+        self.system.hermes.set_score(vec.name, page_idx, 0.0)
+        self.system.monitor.count("stager.bytes_out", len(raw))
+
+    def persist(self, vec: SharedVector, node: int):
+        """Flush every dirty page of ``vec`` (explicit msync / vector
+        close). Generator."""
+        if vec.volatile:
+            vec.dirty_pages.clear()
+            return
+        vec.ensure_backend().ensure_size(vec.nbytes)
+        for page_idx in sorted(vec.dirty_pages):
+            yield from self.stage_out(vec, page_idx, node)
+        vec.ensure_backend().flush()
+
+    def persist_all(self, node: int = 0):
+        """Runtime-termination flush of every nonvolatile vector."""
+        for vec in list(self.system.vectors.values()):
+            if not vec.volatile and not vec.destroyed:
+                yield from self.persist(vec, node)
+
+    # -- active background flushing -----------------------------------------------
+    def flusher(self, node: int):
+        """Background process: actively flush dirty pages during
+        computation (III-B: "MegaMmap actively flushes modified data to
+        storage during periods of computation")."""
+        period = self.system.config.flush_period
+        while not self._stop:
+            yield self.sim.timeout(period)
+            for vec in list(self.system.vectors.values()):
+                if vec.volatile or vec.destroyed:
+                    continue
+                # Flush pages owned by this node to spread the work.
+                mine = [p for p in sorted(vec.dirty_pages)
+                        if vec.owner_node(p, node) == node]
+                for page_idx in mine:
+                    yield from self.stage_out(vec, page_idx, node)
+
+    def stop(self) -> None:
+        self._stop = True

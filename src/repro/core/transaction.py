@@ -1,0 +1,235 @@
+"""The transactional memory API: intent flags and access-pattern classes.
+
+Paper III-A (Informing Policy with Transactional Memory) and
+Listing 2: a transaction declares *which* region will be accessed and
+*how* (read/write/append; sequential/random/strided; local/global/
+collective). ``head`` counts accesses acknowledged by the prefetcher,
+``tail`` counts accesses made; ``get_pages`` maps a window of the
+access sequence onto page regions — which is all Algorithm 1 needs.
+
+Custom patterns subclass :class:`Transaction` and implement
+:meth:`Transaction.get_pages` (the paper's extension point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntFlag
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.errors import TransactionError
+from repro.sim.rand import rng_stream
+
+
+class TxFlags(IntFlag):
+    """Access-intent bits carried by ``TxBegin``."""
+
+    READ = 1
+    WRITE = 2
+    APPEND = 4
+    LOCAL = 8
+    GLOBAL = 16
+    COLLECTIVE = 32
+
+
+MM_READ_ONLY = TxFlags.READ
+MM_WRITE_ONLY = TxFlags.WRITE
+MM_READ_WRITE = TxFlags.READ | TxFlags.WRITE
+MM_APPEND_ONLY = TxFlags.APPEND
+MM_LOCAL = TxFlags.LOCAL
+MM_GLOBAL = TxFlags.GLOBAL
+MM_COLLECTIVE = TxFlags.COLLECTIVE
+
+
+@dataclass
+class PageRegion:
+    """A predicted access to a sub-range of one page (Listing 2)."""
+
+    page_idx: int
+    off: int        # byte offset within the page
+    size: int       # bytes accessed within the page
+    modified: bool = False
+
+
+class Transaction:
+    """Base class: an ordered sequence of element accesses.
+
+    Access positions (``head``/``tail``) index the *access sequence*,
+    not the vector: access ``i`` touches element ``self.element(i)``.
+    Concrete subclasses define :meth:`element` (or override
+    :meth:`get_pages` outright for non-element patterns).
+    """
+
+    def __init__(self, flags: TxFlags, count: int):
+        if count < 0:
+            raise TransactionError(f"negative access count {count}")
+        if not flags & (TxFlags.READ | TxFlags.WRITE | TxFlags.APPEND):
+            raise TransactionError(
+                "transaction needs READ, WRITE, or APPEND intent")
+        if not flags & (TxFlags.LOCAL | TxFlags.GLOBAL):
+            flags |= TxFlags.GLOBAL
+        self.flags = flags
+        self.count = count          # total accesses declared
+        self.head = 0               # acknowledged by the prefetcher
+        self.tail = 0               # accesses performed
+        self._vector = None         # bound by Vector.tx_begin
+
+    # -- intent predicates ----------------------------------------------------
+    @property
+    def is_read_only(self) -> bool:
+        return not self.flags & (TxFlags.WRITE | TxFlags.APPEND)
+
+    @property
+    def writes(self) -> bool:
+        return bool(self.flags & (TxFlags.WRITE | TxFlags.APPEND))
+
+    @property
+    def is_local(self) -> bool:
+        return bool(self.flags & TxFlags.LOCAL)
+
+    @property
+    def is_collective(self) -> bool:
+        return bool(self.flags & TxFlags.COLLECTIVE)
+
+    # -- geometry ---------------------------------------------------------------
+    def bind(self, vector) -> None:
+        self._vector = vector
+
+    @property
+    def vector(self):
+        if self._vector is None:
+            raise TransactionError("transaction not bound to a vector")
+        return self._vector
+
+    def element(self, access_idx: int) -> int:
+        """Vector element index touched by access ``access_idx``."""
+        raise NotImplementedError
+
+    def get_pages(self, off: int, count: int) -> List[PageRegion]:
+        """Page regions touched by accesses [off, off+count) (coalesced
+        per page, in access order)."""
+        vec = self.vector
+        count = max(0, min(count, self.count - off))
+        regions: List[PageRegion] = []
+        itemsize = vec.itemsize
+        epp = vec.elems_per_page
+        i = off
+        while i < off + count:
+            elem = self.element(i)
+            page = elem // epp
+            # Coalesce a run of consecutive accesses inside this page.
+            run = 1
+            while (i + run < off + count
+                   and self.element(i + run) == elem + run
+                   and (elem + run) // epp == page):
+                run += 1
+            regions.append(PageRegion(
+                page_idx=page,
+                off=(elem - page * epp) * itemsize,
+                size=run * itemsize,
+                modified=self.writes))
+            i += run
+        return regions
+
+    def get_touched_pages(self) -> List[PageRegion]:
+        """Listing 2's ``GetTouchedPages``: accesses [head, tail)."""
+        return self.get_pages(self.head, self.tail - self.head)
+
+    def get_future_pages(self, count: int) -> List[PageRegion]:
+        """Listing 2's ``GetFuturePages``: accesses [tail, tail+count)."""
+        return self.get_pages(self.tail, count)
+
+    @property
+    def remaining(self) -> int:
+        return self.count - self.tail
+
+    def advance(self, n: int) -> None:
+        if self.tail + n > self.count:
+            raise TransactionError(
+                f"advance past declared access count "
+                f"({self.tail} + {n} > {self.count})")
+        self.tail += n
+
+    def may_retouch(self) -> bool:
+        """Whether pages between head and tail may be accessed again
+        (Algorithm 1's note on random transactions)."""
+        return False
+
+
+class SeqTx(Transaction):
+    """Sequential scan over elements [offset, offset + size)."""
+
+    def __init__(self, offset: int, size: int, flags: TxFlags):
+        if offset < 0 or size < 0:
+            raise TransactionError(
+                f"bad sequential region ({offset}, {size})")
+        super().__init__(flags, size)
+        self.offset = offset
+        self.size = size
+
+    def element(self, access_idx: int) -> int:
+        return self.offset + access_idx
+
+
+class StrideTx(Transaction):
+    """Strided scan: element ``offset + i*stride`` for i in [0, count)."""
+
+    def __init__(self, offset: int, count: int, stride: int, flags: TxFlags):
+        if stride == 0:
+            raise TransactionError("stride must be nonzero")
+        super().__init__(flags, count)
+        self.offset = offset
+        self.stride = stride
+
+    def element(self, access_idx: int) -> int:
+        return self.offset + access_idx * self.stride
+
+
+class RandTx(Transaction):
+    """Seeded pseudo-random page visitation over [offset, offset+size).
+
+    Pages are visited in a seed-determined permutation; elements within
+    a page are visited sequentially. Because the seed is part of the
+    transaction, the prefetcher predicts the "random" order exactly
+    (paper III: "Factors such as randomness seeds and access intent
+    are used to guide data organization decisions").
+    """
+
+    def __init__(self, offset: int, size: int, seed: int, flags: TxFlags):
+        super().__init__(flags, size)
+        self.offset = offset
+        self.size = size
+        self.seed = seed
+        self._perm: Optional[np.ndarray] = None
+        self._epp: Optional[int] = None
+
+    def bind(self, vector) -> None:
+        super().bind(vector)
+        epp = vector.elems_per_page
+        first = self.offset // epp
+        last = (self.offset + self.size - 1) // epp if self.size else first
+        n_pages = last - first + 1
+        perm = rng_stream(self.seed, "randtx").permutation(n_pages)
+        self._perm = perm + first
+        self._epp = epp
+
+    def element(self, access_idx: int) -> int:
+        if self._perm is None:
+            raise TransactionError("RandTx used before binding to a vector")
+        epp = self._epp
+        lo, hi = self.offset, self.offset + self.size
+        # Walk the permuted pages; each contributes its in-range span.
+        remaining = access_idx
+        for page in self._perm:
+            start = max(lo, int(page) * epp)
+            end = min(hi, (int(page) + 1) * epp)
+            span = end - start
+            if remaining < span:
+                return start + remaining
+            remaining -= span
+        raise TransactionError(f"access {access_idx} beyond region")
+
+    def may_retouch(self) -> bool:
+        return True

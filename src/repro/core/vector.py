@@ -1,0 +1,562 @@
+"""The client-side shared vector: pcache, transactions, element access.
+
+This is the application-facing API of MegaMmap (paper Listing 1). Each
+process holds its own :class:`Vector` handle over the cluster-global
+:class:`~repro.core.shared.SharedVector`; reads and writes go through
+the process-private **pcache** with copy-on-write dirty-interval
+tracking, faulting pages from the distributed **scache** through
+MemoryTasks, with the :class:`~repro.core.prefetcher.Prefetcher`
+(Algorithm 1) driving eviction/read-ahead at transaction
+acknowledgment points.
+
+All potentially blocking methods are generators:
+``chunk = yield from vec.next_chunk()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.coherence import CoherencePolicy, policy_for
+from repro.core.errors import TransactionError, VectorError
+from repro.core.intervals import IntervalSet
+from repro.core.memtask import MemoryTask, TaskKind
+from repro.core.prefetcher import Prefetcher
+from repro.core.transaction import Transaction, TxFlags
+
+
+class Frame:
+    """One pcache page frame: private data + validity/dirty intervals."""
+
+    __slots__ = ("data", "valid", "dirty", "last_use", "pending")
+
+    def __init__(self, nbytes: int):
+        self.data = np.zeros(nbytes, dtype=np.uint8)
+        self.valid = IntervalSet()
+        self.dirty = IntervalSet()
+        self.last_use = 0
+        self.pending = None  # in-flight fill event, if any
+
+
+@dataclass
+class Chunk:
+    """A page-run of elements handed to the application.
+
+    ``data`` aliases the pcache frame: mutations hit the cache
+    directly (and the run was pre-marked dirty for writing
+    transactions).
+    """
+
+    start: int          # element index of data[0]
+    data: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class Vector:
+    """Per-process handle on a shared MegaMmap vector."""
+
+    def __init__(self, client, shared):
+        self.client = client
+        self.shared = shared
+        self.pcache_budget = client.system.config.pcache_size
+        self.frames: Dict[int, Frame] = {}
+        self.tx: Optional[Transaction] = None
+        self.prefetcher = Prefetcher(self)
+        self._use_seq = 0
+        self._reserved = 0
+        # Last-page fast path (paper III-E, Minimizing Indexing
+        # Overhead): the page last accessed is checked before any
+        # lookup. ``index_ops`` counts the extra integer/conditional
+        # work for the §III-E overhead benchmark.
+        self._last_page: Tuple[int, Optional[Frame]] = (-1, None)
+        self.index_ops = 0
+        self._policy_epoch_seen = shared.policy_epoch
+
+    # -- geometry / identity ---------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        return self.shared.dtype
+
+    @property
+    def itemsize(self) -> int:
+        return self.shared.itemsize
+
+    @property
+    def elems_per_page(self) -> int:
+        return self.shared.elems_per_page
+
+    @property
+    def size(self) -> int:
+        """Current element count (paper: "acquiring current size")."""
+        return self.shared.length
+
+    @property
+    def pcache_used(self) -> int:
+        return len(self.frames) * self.shared.page_size
+
+    # -- resource control (paper III-A) -----------------------------------------
+    def bound_memory(self, nbytes: int) -> None:
+        """Cap this vector's pcache DRAM (Listing 1's ``BoundMemory``)."""
+        if nbytes < self.shared.page_size:
+            raise VectorError(
+                f"pcache bound {nbytes} below one page "
+                f"({self.shared.page_size})")
+        self.pcache_budget = nbytes
+
+    def pgas(self, rank: int, nprocs: int) -> None:
+        """Partition elements evenly among processes (Listing 1's
+        ``Pgas``)."""
+        if not 0 <= rank < nprocs:
+            raise VectorError(f"bad rank {rank} of {nprocs}")
+        self._rank, self._nprocs = rank, nprocs
+
+    def local_off(self) -> int:
+        rank, nprocs = self._pgas()
+        base, rem = divmod(self.shared.length, nprocs)
+        return rank * base + min(rank, rem)
+
+    def local_size(self) -> int:
+        rank, nprocs = self._pgas()
+        base, rem = divmod(self.shared.length, nprocs)
+        return base + (1 if rank < rem else 0)
+
+    def _pgas(self):
+        try:
+            return self._rank, self._nprocs
+        except AttributeError:
+            raise VectorError("call pgas(rank, nprocs) first") from None
+
+    # -- transactions ---------------------------------------------------------------
+    def tx_begin(self, tx: Transaction):
+        """Open a transaction (generator; returns ``tx``)."""
+        if self.tx is not None:
+            raise TransactionError(
+                "a transaction is already active on this vector")
+        tx.bind(self)
+        new_policy = policy_for(tx)
+        if new_policy is not self.shared.policy:
+            yield from self._change_phase(new_policy)
+        if self._policy_epoch_seen != self.shared.policy_epoch:
+            # Another phase began since our last transaction: private
+            # frames may be stale relative to peers' committed writes.
+            yield from self.invalidate_clean_frames()
+            self._policy_epoch_seen = self.shared.policy_epoch
+        self.tx = tx
+        # Initial acknowledgment primes prefetching before first access.
+        yield from self.prefetcher.on_advance(tx)
+        return tx
+
+    def tx_end(self):
+        """Commit the active transaction (generator).
+
+        Dirty pcache data is shipped to the scache as writer
+        MemoryTasks. Under asynchronous-writeback policies
+        (write/append-only, local) the tasks complete in the
+        background; otherwise visibility is immediate once a peer's
+        read reaches the same page worker (task ordering).
+        """
+        if self.tx is None:
+            raise TransactionError("no active transaction")
+        tx, self.tx = self.tx, None
+        yield from self.flush(wait=False)
+
+    def invalidate_range(self, elem_off: int, count: int):
+        """Drop pcache frames overlapping an element range (generator).
+
+        The explicit *acquire* of a region another process may have
+        modified under a LOCAL policy — e.g. ghost planes in a stencil
+        exchange: invalidate, then read_range refaults fresh data from
+        the scache. Dirty local bytes in the dropped frames are shipped
+        first (evict semantics).
+        """
+        epp = self.elems_per_page
+        first = elem_off // epp
+        last = (elem_off + max(count, 1) - 1) // epp
+        for page_idx in range(first, last + 1):
+            if page_idx in self.frames:
+                yield from self.evict_page(page_idx)
+
+    def invalidate_clean_frames(self):
+        """Drop pcache frames that hold no local modifications (their
+        content may be stale after a phase change); dirty frames are
+        flushed first, then dropped. Generator."""
+        for page_idx in list(self.frames):
+            yield from self.evict_page(page_idx)
+
+    def _change_phase(self, new_policy: CoherencePolicy):
+        """Switch coherence policy; leaving READ_ONLY invalidates every
+        replica (paper III-C, Changing Phases)."""
+        old = self.shared.policy
+        self.shared.policy = new_policy
+        self.shared.policy_epoch += 1
+        if (old is CoherencePolicy.READ_ONLY_GLOBAL
+                and new_policy is not CoherencePolicy.READ_ONLY_GLOBAL):
+            for page_idx in sorted(self.shared.replicated_pages):
+                yield from self.client.system.hermes.invalidate_replicas(
+                    self.client.node, self.shared.name, page_idx)
+            self.shared.replicated_pages.clear()
+        self.client.system.monitor.count("coherence.phase_changes")
+
+    # -- chunk iteration (the predicted access stream) ---------------------------------
+    def next_chunk(self, max_elems: Optional[int] = None):
+        """Next page-run of the active transaction (generator).
+
+        Returns a :class:`Chunk` aliasing pcache memory, or ``None``
+        when the transaction's declared accesses are exhausted. For
+        writing transactions the chunk is pre-marked fully dirty; use
+        element ``set`` for byte-precise dirty tracking instead.
+        """
+        tx = self._require_tx()
+        if tx.remaining == 0:
+            # Final acknowledgment: evict/score the tail of the stream.
+            if tx.tail > tx.head:
+                yield from self.prefetcher.on_advance(tx)
+            return None
+        # Acknowledgment point: pages touched by *previous* chunks are
+        # complete now — run Algorithm 1 before faulting the next page
+        # (evicting the page we are about to hand out would lose the
+        # caller's writes).
+        if tx.tail > tx.head:
+            yield from self.prefetcher.on_advance(tx)
+        want = tx.remaining if max_elems is None \
+            else min(max_elems, tx.remaining)
+        want = min(want, self.elems_per_page)
+        regions = tx.get_pages(tx.tail, want)
+        region = regions[0]
+        write_only = tx.writes and not tx.flags & TxFlags.READ
+        frame = yield from self._fault(
+            region.page_idx, (region.off, region.size),
+            allocate_only=write_only)
+        n_elems = region.size // self.itemsize
+        tx.advance(n_elems)
+        if tx.writes:
+            frame.dirty.add(region.off, region.off + region.size)
+            frame.valid.add(region.off, region.off + region.size)
+        view = frame.data[region.off:region.off + region.size] \
+            .view(self.dtype)
+        start = region.page_idx * self.elems_per_page \
+            + region.off // self.itemsize
+        return Chunk(start=start, data=view)
+
+    def chunks(self):
+        """Convenience driver: ``yield from vec.chunks()`` is not
+        possible across chunk boundaries in generator style, so apps
+        loop::
+
+            while True:
+                chunk = yield from vec.next_chunk()
+                if chunk is None:
+                    break
+        """
+        raise TransactionError(
+            "use `while True: chunk = yield from vec.next_chunk()`")
+
+    def _require_tx(self) -> Transaction:
+        if self.tx is None:
+            raise TransactionError(
+                "memory access outside a transaction (call tx_begin)")
+        return self.tx
+
+    # -- element access (out-of-band within the tx region) --------------------------------
+    def get(self, elem_idx: int):
+        """Read one element (generator)."""
+        self._require_tx()
+        raw = yield from self.read_range(elem_idx, 1)
+        return raw[0]
+
+    def set(self, elem_idx: int, value):
+        """Write one element with byte-precise dirty tracking
+        (generator)."""
+        tx = self._require_tx()
+        if not tx.writes:
+            raise TransactionError("write under a read-only transaction")
+        arr = np.asarray([value], dtype=self.dtype) if not (
+            isinstance(value, np.ndarray) and value.shape == (1,)) \
+            else value.astype(self.dtype)
+        yield from self.write_range(elem_idx, arr)
+
+    def read_range(self, elem_off: int, count: int):
+        """Read ``count`` elements starting at ``elem_off`` (generator;
+        returns a private copy)."""
+        self._check_range(elem_off, count)
+        out = np.empty(count, dtype=self.dtype)
+        for page_idx, poff, n, doff in self._page_spans(elem_off, count):
+            byte_off = poff * self.itemsize
+            nbytes = n * self.itemsize
+            frame = yield from self._fault(page_idx,
+                                           (byte_off, nbytes))
+            out[doff:doff + n] = frame.data[
+                byte_off:byte_off + nbytes].view(self.dtype)
+        return out
+
+    def write_range(self, elem_off: int, array: np.ndarray):
+        """Write elements starting at ``elem_off`` (generator)."""
+        array = np.ascontiguousarray(array, dtype=self.dtype).ravel()
+        self._check_range(elem_off, len(array))
+        for page_idx, poff, n, soff in self._page_spans(elem_off,
+                                                        len(array)):
+            byte_off = poff * self.itemsize
+            nbytes = n * self.itemsize
+            covers_all = True  # write-allocate: no read needed
+            frame = yield from self._fault(page_idx, (byte_off, nbytes),
+                                           allocate_only=covers_all)
+            frame.data[byte_off:byte_off + nbytes] = np.frombuffer(
+                array[soff:soff + n].tobytes(), dtype=np.uint8)
+            frame.dirty.add(byte_off, byte_off + nbytes)
+            frame.valid.add(byte_off, byte_off + nbytes)
+
+    def append(self, array: np.ndarray):
+        """Append elements; returns their start index (generator).
+
+        Offset allocation is an atomic fetch-add at the vector's
+        coordinator node (one small RPC round trip).
+        """
+        array = np.ascontiguousarray(array, dtype=self.dtype).ravel()
+        # Reserve before yielding: the fetch-add is atomic.
+        start = self.shared.length
+        self.shared.grow(start + len(array))
+        coord = self.shared.coordinator_node
+        net = self.client.system.network
+        yield from net.transfer(self.client.node, coord, 64)
+        yield from net.transfer(coord, self.client.node, 64)
+        yield from self.write_range(start, array)
+        return start
+
+    def _check_range(self, elem_off: int, count: int) -> None:
+        if elem_off < 0 or count < 0 \
+                or elem_off + count > self.shared.length:
+            raise VectorError(
+                f"element range [{elem_off}, {elem_off + count}) outside "
+                f"vector of {self.shared.length}")
+
+    def _page_spans(self, elem_off: int, count: int):
+        """Split an element range into (page, in-page elem off, n,
+        dest off) spans."""
+        epp = self.elems_per_page
+        done = 0
+        while done < count:
+            elem = elem_off + done
+            page_idx = elem // epp
+            poff = elem - page_idx * epp
+            n = min(count - done, epp - poff)
+            yield page_idx, poff, n, done
+            done += n
+
+    # -- fault / evict / prefetch -------------------------------------------------------
+    def _touch(self, page_idx: int, frame: Frame) -> None:
+        self._use_seq += 1
+        frame.last_use = self._use_seq
+        self._last_page = (page_idx, frame)
+
+    def _lookup(self, page_idx: int) -> Optional[Frame]:
+        # Last-page fast path first (III-E): two integer ops + branch.
+        self.index_ops += 2
+        last_idx, last_frame = self._last_page
+        if last_idx == page_idx:
+            return last_frame
+        return self.frames.get(page_idx)
+
+    def _fault(self, page_idx: int, region: Tuple[int, int],
+               allocate_only: bool = False, score: float = 1.0):
+        """Ensure ``region`` of ``page_idx`` is valid in the pcache.
+
+        Generator; returns the Frame. ``allocate_only`` skips the
+        scache read (write-allocate for fully overwritten ranges).
+        """
+        off, size = region
+        page_nbytes = self.shared.page_nbytes(page_idx)
+        if off < 0 or off + size > page_nbytes:
+            raise VectorError(
+                f"region [{off}, {off + size}) outside page of "
+                f"{page_nbytes} bytes")
+        frame = self._lookup(page_idx)
+        if frame is None:
+            yield from self._make_room()
+            frame = Frame(page_nbytes)
+            self.frames[page_idx] = frame
+            self.client.reserve_pcache(page_nbytes)
+            self._reserved += page_nbytes
+        elif len(frame.data) < page_nbytes:
+            # The vector grew (append): extend the cached frame.
+            grown = np.zeros(page_nbytes, dtype=np.uint8)
+            grown[:len(frame.data)] = frame.data
+            delta = page_nbytes - len(frame.data)
+            frame.data = grown
+            self.client.reserve_pcache(delta)
+            self._reserved += delta
+        self._touch(page_idx, frame)
+        if frame.pending is not None and not frame.pending.processed:
+            yield frame.pending
+        if allocate_only:
+            return frame
+        missing = self._missing(frame, off, off + size)
+        collective = (self.tx is not None and self.tx.is_collective
+                      and not self.tx.writes)
+        for m_start, m_end in missing:
+            self.client.system.monitor.count("pcache.faults")
+            task = MemoryTask(
+                kind=TaskKind.READ, vector_name=self.shared.name,
+                page_idx=page_idx, client_node=self.client.node,
+                region=(m_start, m_end - m_start))
+            if collective and (m_start, m_end) == (0, page_nbytes):
+                # Tree-based fan-out: one scache fetch, forwarded
+                # process-to-process (paper III-C, Collective).
+                raw = yield from self.client.system.collective_read(
+                    self.shared, page_idx, (m_start, m_end),
+                    self.client.node,
+                    lambda t=task: self.client.submit(t, wait=True))
+            else:
+                raw = yield from self.client.submit(task, wait=True)
+            # Do not clobber locally dirty bytes with stale data.
+            self._install(frame, m_start, raw)
+        return frame
+
+    def _missing(self, frame: Frame, start: int, end: int):
+        missing = IntervalSet([(start, end)])
+        for v_start, v_end in frame.valid:
+            missing.remove(v_start, v_end)
+        return list(missing)
+
+    def _install(self, frame: Frame, start: int, raw: bytes) -> None:
+        data = np.frombuffer(raw, dtype=np.uint8)
+        end = start + len(data)
+        # Locally dirty bytes are newer than anything the scache holds:
+        # save and restore them around the install (matters when an
+        # async prefetch completes after local writes to the frame).
+        saved = [(s, e, frame.data[s:e].copy())
+                 for s, e in frame.dirty.intersect(start, end)]
+        frame.data[start:end] = data
+        for s, e, buf in saved:
+            frame.data[s:e] = buf
+        frame.valid.add(start, end)
+
+    def _make_room(self):
+        """Evict LRU frames until one more page fits the budget."""
+        page_size = self.shared.page_size
+        while self.frames and \
+                self.pcache_used + page_size > self.pcache_budget:
+            victim = min(self.frames, key=lambda p: self.frames[p].last_use)
+            yield from self.evict_page(victim)
+
+    def evict_page(self, page_idx: int):
+        """Drop a pcache frame, shipping dirty fragments to the scache.
+
+        The application only pays the memory-copy cost; the writer
+        MemoryTask runs asynchronously (paper III-B, Lifecycle of
+        Modified Data). Generator.
+        """
+        frame = self.frames.pop(page_idx, None)
+        if frame is None:
+            return
+        if self._last_page[0] == page_idx:
+            self._last_page = (-1, None)
+        if frame.pending is not None and not frame.pending.processed:
+            yield frame.pending
+        if frame.dirty:
+            fragments = [
+                (start, frame.data[start:end].tobytes())
+                for start, end in frame.dirty
+            ]
+            nbytes = sum(len(d) for _, d in fragments)
+            # Cost of the copy out of the pcache.
+            yield self.client.system.sim.timeout(
+                nbytes / self.client.system.memcpy_bw)
+            task = MemoryTask(
+                kind=TaskKind.WRITE, vector_name=self.shared.name,
+                page_idx=page_idx, client_node=self.client.node,
+                fragments=fragments)
+            yield from self.client.submit(task, wait=False)
+            self.client.system.monitor.count("pcache.evictions_dirty")
+        else:
+            self.client.system.monitor.count("pcache.evictions_clean")
+        self.client.unreserve_pcache(len(frame.data))
+        self._reserved -= len(frame.data)
+
+    def prefetch_page(self, page_idx: int) -> None:
+        """Start an asynchronous pcache fill (non-blocking)."""
+        if page_idx >= self.shared.n_pages or page_idx in self.frames:
+            return
+        if self.pcache_used + self.shared.page_size > self.pcache_budget:
+            return
+        page_nbytes = self.shared.page_nbytes(page_idx)
+        frame = Frame(page_nbytes)
+        self.frames[page_idx] = frame
+        self.client.reserve_pcache(page_nbytes)
+        self._reserved += page_nbytes
+        self._touch(page_idx, frame)
+        task = MemoryTask(
+            kind=TaskKind.READ, vector_name=self.shared.name,
+            page_idx=page_idx, client_node=self.client.node,
+            region=(0, page_nbytes))
+
+        def fill():
+            raw = yield from self.client.submit(task, wait=True)
+            if page_idx in self.frames and self.frames[page_idx] is frame:
+                self._install(frame, 0, raw)
+            frame.pending = None
+            self.client.system.monitor.count("pcache.prefetches")
+
+        frame.pending = self.client.system.sim.process(
+            fill(), name=f"prefetch {self.shared.name}[{page_idx}]")
+
+    # -- flushing / persistence -------------------------------------------------------
+    def flush(self, wait: bool = True):
+        """Ship all dirty pcache fragments to the scache (generator).
+
+        ``wait=True`` additionally blocks until the writer tasks have
+        executed (visibility to every process guaranteed regardless of
+        worker queueing).
+        """
+        for page_idx in sorted(self.frames):
+            frame = self.frames[page_idx]
+            if not frame.dirty:
+                continue
+            fragments = [
+                (start, frame.data[start:end].tobytes())
+                for start, end in frame.dirty
+            ]
+            nbytes = sum(len(d) for _, d in fragments)
+            yield self.client.system.sim.timeout(
+                nbytes / self.client.system.memcpy_bw)
+            task = MemoryTask(
+                kind=TaskKind.WRITE, vector_name=self.shared.name,
+                page_idx=page_idx, client_node=self.client.node,
+                fragments=fragments)
+            yield from self.client.submit(task, wait=False)
+            frame.dirty.clear()
+        if wait:
+            yield from self.client.drain()
+
+    def persist(self):
+        """Flush pcache + stage every dirty scache page to the backend
+        (generator). The real backing file is bit-exact afterwards."""
+        yield from self.flush(wait=True)
+        yield from self.client.system.stager.persist(
+            self.shared, self.client.node)
+
+    def destroy(self, drop: bool = False):
+        """Explicitly destroy the shared vector (paper III-A: vectors
+        outlive their handles; destruction is explicit). Nonvolatile
+        data is persisted first unless ``drop``. Generator."""
+        if not drop and not self.shared.volatile:
+            yield from self.persist()
+        else:
+            yield from self.flush(wait=True)
+        for page_idx in list(self.frames):
+            frame = self.frames.pop(page_idx)
+            self.client.unreserve_pcache(len(frame.data))
+            self._reserved -= len(frame.data)
+        self._last_page = (-1, None)
+        for info in list(self.client.system.hermes.mdm.list_bucket(
+                self.shared.name)):
+            task = MemoryTask(
+                kind=TaskKind.DELETE, vector_name=self.shared.name,
+                page_idx=info.key, client_node=self.client.node)
+            yield from self.client.submit(task, wait=True)
+        self.shared.destroyed = True
+        self.client.system.vectors.pop(self.shared.name, None)

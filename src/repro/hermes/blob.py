@@ -1,0 +1,33 @@
+"""Blob metadata records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class BlobNotFound(KeyError):
+    """Raised when a blob key has no metadata entry."""
+
+
+@dataclass
+class BlobInfo:
+    """Where one blob lives and how hot it is.
+
+    ``score`` is the organizer's current placement score in [0, 1]
+    (paper III-D); ``node``/``tier`` locate the authoritative copy;
+    ``replicas`` lists additional (node, tier) copies created under
+    read-only replication.
+    """
+
+    bucket: str
+    key: object
+    node: int
+    tier: str
+    nbytes: int
+    score: float = 1.0
+    replicas: list = field(default_factory=list)
+
+    @property
+    def placements(self) -> list:
+        """All (node, tier) pairs holding this blob, primary first."""
+        return [(self.node, self.tier)] + list(self.replicas)

@@ -1,0 +1,363 @@
+"""The Hermes facade: timed blob put/get/move over the cluster DMSH."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hermes.blob import BlobInfo, BlobNotFound
+from repro.hermes.dpe import MinimizeIoTime, PlacementError, PlacementPolicy
+from repro.hermes.mdm import MetadataManager
+from repro.net.fabric import Network
+from repro.sim import Lock, Monitor, Simulator
+from repro.storage.device import Device
+from repro.storage.dmsh import DMSH
+
+
+class Hermes:
+    """Hierarchical buffering over one DMSH per node.
+
+    All data-path methods are generators (timed). Blob content is real:
+    what goes in comes out bit-exact, wherever the organizer has moved
+    it meanwhile.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, dmshs: List[DMSH],
+                 policy: Optional[PlacementPolicy] = None,
+                 monitor: Optional[Monitor] = None):
+        if len(dmshs) > network.n_nodes:
+            raise ValueError("more DMSHs than network nodes")
+        self.sim = sim
+        self.network = network
+        self.dmshs = dmshs
+        self.policy = policy or MinimizeIoTime()
+        self.monitor = monitor
+        self.mdm = MetadataManager(sim, network, len(dmshs))
+        # Per-blob locks serialize mutations (move vs move, move vs
+        # partial update); reads take them too so a get never observes
+        # a blob mid-relocation.
+        self._locks: dict = {}
+        #: Optional generator callback ``evictor(node, nbytes) -> bool``
+        #: installed by the embedding system: drop clean (persisted)
+        #: blobs to free capacity, like the OS page cache dropping
+        #: clean pages. Consulted as placement's last resort.
+        self.evictor = None
+
+    def _lock(self, bucket: str, key) -> Lock:
+        lk = self._locks.get((bucket, key))
+        if lk is None:
+            lk = self._locks[(bucket, key)] = Lock(self.sim)
+        return lk
+
+    # -- placement helpers ---------------------------------------------------
+    def _device(self, node: int, tier: str) -> Device:
+        return self.dmshs[node].tier(tier)
+
+    def _place(self, node: int, nbytes: int, score: float,
+               exclude: Optional[set] = None):
+        """Choose a device for a new blob. Generator.
+
+        Order of attempts (paper III-D): (1) the policy's ideal tier if
+        it has room; (2) demote strictly colder residents out of the
+        ideal tier; (3) the next deeper tier with room; (4) demotion
+        cascade anywhere; else :class:`PlacementError`. Devices named
+        in ``exclude`` are skipped (capacity-race victims).
+        """
+        exclude = exclude or set()
+        dmsh = self.dmshs[node]
+        idx = self.policy.ideal_index(dmsh, nbytes, score)
+        ideal = dmsh.tiers[idx]
+        if ideal.name not in exclude:
+            if ideal.fits(nbytes):
+                return ideal
+            freed = yield from self._demote_colder(node, idx, nbytes,
+                                                   score)
+            if freed:
+                return ideal
+        for dev in dmsh.tiers[idx + 1:]:
+            if dev.name not in exclude and dev.fits(nbytes):
+                return dev
+        # Last resort: cascade demotions from the ideal tier downward.
+        for j in range(idx, len(dmsh.tiers)):
+            if dmsh.tiers[j].name in exclude:
+                continue
+            freed = yield from self._demote_colder(node, j, nbytes, score)
+            if freed:
+                return dmsh.tiers[j]
+        # Very last resort: drop clean (already persisted) blobs.
+        if self.evictor is not None:
+            freed = yield from self.evictor(node, nbytes)
+            if freed:
+                dev = dmsh.fastest_with_room(nbytes)
+                if dev is not None and dev.name not in exclude:
+                    return dev
+        raise PlacementError(
+            f"node {node}: no tier with {nbytes} bytes free "
+            f"(composition {dmsh.describe()})")
+
+    def _put_with_retry(self, node: int, key, data, score: float):
+        """Place and store, retrying when a concurrent writer consumed
+        the chosen tier's capacity while our transfer was queued. A
+        tier that loses twice is excluded (a churning near-full tier
+        must not starve the put when deeper tiers have room).
+        Generator; returns the device that accepted the blob."""
+        from repro.storage.device import DeviceFullError
+        losses: dict = {}
+        exclude: set = set()
+        for _ in range(4 * len(self.dmshs[node].tiers) + 4):
+            dev = yield from self._place(node, len(data), score,
+                                         exclude=exclude)
+            try:
+                yield from dev.put(key, data)
+                return dev
+            except DeviceFullError:
+                losses[dev.name] = losses.get(dev.name, 0) + 1
+                if losses[dev.name] >= 2:
+                    exclude.add(dev.name)
+                continue
+        raise PlacementError(
+            f"node {node}: placement kept losing capacity races for "
+            f"{len(data)} bytes")
+
+    def _demote_colder(self, node: int, tier_idx: int, nbytes: int,
+                       score: float):
+        """Demote strictly colder blobs out of tier ``tier_idx`` until
+        ``nbytes`` fit there. Generator; returns True on success."""
+        dmsh = self.dmshs[node]
+        dev = dmsh.tiers[tier_idx]
+        residents = sorted(
+            (info for info in self.mdm.all_blobs()
+             if info.node == node and info.tier == dev.spec.kind
+             and info.score < score),
+            key=lambda i: i.score)
+        if dev.free + sum(i.nbytes for i in residents) < nbytes:
+            return False
+        from repro.storage.device import DeviceFullError
+        for info in residents:
+            if dev.fits(nbytes):
+                break
+            lower = dmsh.slower_than(dev)
+            while lower is not None and not lower.fits(info.nbytes):
+                lower = dmsh.slower_than(lower)
+            if lower is None:
+                break
+            try:
+                yield from self.move(info.bucket, info.key, node,
+                                     lower.spec.kind)
+            except (BlobNotFound, DeviceFullError):
+                continue  # blob vanished or lost a race; try the next
+        return dev.fits(nbytes)
+
+    # -- data path --------------------------------------------------------------
+    def put(self, client_node: int, bucket: str, key, data,
+            score: float = 1.0, target_node: Optional[int] = None):
+        """Store/replace a blob; returns its :class:`BlobInfo`."""
+        data = bytes(data) if not isinstance(data, (bytes, bytearray)) \
+            else bytes(data)
+        node = client_node if target_node is None else target_node
+        lock = self._lock(bucket, key)
+        yield lock.acquire()
+        try:
+            return (yield from self._put(client_node, bucket, key, data,
+                                         score, node))
+        finally:
+            lock.release()
+
+    def _put(self, client_node, bucket, key, data, score, node):
+        info = yield from self.mdm.try_get(client_node, bucket, key)
+        yield from self.network.transfer(client_node, node, len(data))
+        if info is not None and info.node == node \
+                and info.nbytes == len(data):
+            # In-place update of the authoritative copy.
+            dev = self._device(info.node, info.tier)
+            yield from dev.put((bucket, key), data)
+            info.score = max(info.score, score)
+            return info
+        if info is not None:
+            # Remove the stale entry entirely so concurrent placement
+            # sweeps cannot pick it as a demotion candidate.
+            yield from self.mdm.delete(client_node, bucket, key)
+            yield from self._drop_all_copies(info)
+        dev = yield from self._put_with_retry(node, (bucket, key), data,
+                                              score)
+        info = BlobInfo(bucket=bucket, key=key, node=node,
+                        tier=dev.spec.kind, nbytes=len(data), score=score)
+        yield from self.mdm.put(client_node, info)
+        if self.monitor is not None:
+            self.monitor.count("hermes.puts")
+        return info
+
+    def put_partial(self, client_node: int, bucket: str, key,
+                    offset: int, data):
+        """Update a byte range inside an existing blob (partial paging:
+        only the modified fragment crosses the network)."""
+        data = bytes(data)
+        lock = self._lock(bucket, key)
+        yield lock.acquire()
+        try:
+            return (yield from self._put_partial(client_node, bucket, key,
+                                                 offset, data))
+        finally:
+            lock.release()
+
+    def _put_partial(self, client_node, bucket, key, offset, data):
+        info = yield from self.mdm.get(client_node, bucket, key)
+        yield from self.network.transfer(client_node, info.node, len(data))
+        dev = self._device(info.node, info.tier)
+        yield from dev.put_range((bucket, key), offset, data)
+        # Replicas are stale now; partial writes invalidate them.
+        yield from self.invalidate_replicas(client_node, bucket, key)
+        return info
+
+    def get(self, client_node: int, bucket: str, key):
+        """Fetch a whole blob, preferring a same-node copy."""
+        lock = self._lock(bucket, key)
+        yield lock.acquire()
+        try:
+            return (yield from self._get(client_node, bucket, key))
+        finally:
+            lock.release()
+
+    def _get(self, client_node, bucket, key):
+        info = yield from self.mdm.get(client_node, bucket, key)
+        node, tier = self._nearest_copy(info, client_node)
+        dev = self._device(node, tier)
+        raw = yield from dev.get((bucket, key))
+        yield from self.network.transfer(node, client_node, len(raw))
+        if self.monitor is not None:
+            self.monitor.count("hermes.gets")
+        return raw
+
+    def get_partial(self, client_node: int, bucket: str, key,
+                    offset: int, nbytes: int):
+        lock = self._lock(bucket, key)
+        yield lock.acquire()
+        try:
+            return (yield from self._get_partial(client_node, bucket, key,
+                                                 offset, nbytes))
+        finally:
+            lock.release()
+
+    def _get_partial(self, client_node, bucket, key, offset, nbytes):
+        info = yield from self.mdm.get(client_node, bucket, key)
+        node, tier = self._nearest_copy(info, client_node)
+        dev = self._device(node, tier)
+        raw = yield from dev.get_range((bucket, key), offset, nbytes)
+        yield from self.network.transfer(node, client_node, len(raw))
+        return raw
+
+    def _nearest_copy(self, info: BlobInfo, client_node: int):
+        for node, tier in info.placements:
+            if node == client_node:
+                return node, tier
+        return info.node, info.tier
+
+    # -- replication (read-only global coherence) ---------------------------------
+    def replicate(self, client_node: int, bucket: str, key):
+        """Copy a blob onto the client's node for read availability.
+
+        No-op when a local copy already exists or local tiers are full.
+        Returns the fetched bytes either way (callers replicate on the
+        read path).
+        """
+        lock = self._lock(bucket, key)
+        yield lock.acquire()
+        try:
+            return (yield from self._replicate(client_node, bucket, key))
+        finally:
+            lock.release()
+
+    def _replicate(self, client_node: int, bucket: str, key):
+        info = yield from self.mdm.get(client_node, bucket, key)
+        raw = None
+        if all(node != client_node for node, _ in info.placements):
+            src_dev = self._device(info.node, info.tier)
+            raw = yield from src_dev.get((bucket, key))
+            yield from self.network.transfer(info.node, client_node,
+                                             len(raw))
+            local = self.dmshs[client_node].fastest_with_room(len(raw))
+            if local is not None:
+                from repro.storage.device import DeviceFullError
+                try:
+                    yield from local.put((bucket, key), raw)
+                except DeviceFullError:
+                    pass  # lost a capacity race; serve remotely
+                else:
+                    info.replicas.append((client_node, local.spec.kind))
+                    if self.monitor is not None:
+                        self.monitor.count("hermes.replications")
+        else:
+            raw = yield from self._get(client_node, bucket, key)
+        return raw
+
+    def invalidate_replicas(self, client_node: int, bucket: str, key):
+        """Drop every replica, keeping the authoritative copy (phase
+        change read-only -> writable, paper III-C)."""
+        info = yield from self.mdm.try_get(client_node, bucket, key)
+        if info is None:
+            return 0
+        dropped = 0
+        for node, tier in info.replicas:
+            dev = self._device(node, tier)
+            if (bucket, key) in dev:
+                dev.delete((bucket, key))
+                dropped += 1
+        info.replicas.clear()
+        return dropped
+
+    # -- management ------------------------------------------------------------------
+    def move(self, bucket: str, key, node: int, to_tier: str):
+        """Relocate the authoritative copy to another node/tier
+        (the organizer's demote/promote primitive)."""
+        lock = self._lock(bucket, key)
+        yield lock.acquire()
+        try:
+            return (yield from self._move(bucket, key, node, to_tier))
+        finally:
+            lock.release()
+
+    def _move(self, bucket, key, node, to_tier):
+        info = self.mdm.peek(bucket, key)
+        if info is None:
+            raise BlobNotFound((bucket, key))
+        if info.tier == to_tier and info.node == node:
+            return info
+        src = self._device(info.node, info.tier)
+        dst = self._device(node, to_tier)
+        # A replica on the destination would collide with the primary's
+        # device key: absorb it (the put below refreshes content).
+        if (node, to_tier) in info.replicas:
+            info.replicas.remove((node, to_tier))
+        raw = yield from src.get((bucket, key))
+        if info.node != node:
+            yield from self.network.transfer(info.node, node, len(raw))
+        yield from dst.put((bucket, key), raw)
+        src.delete((bucket, key))
+        info.node, info.tier = node, to_tier
+        if self.monitor is not None:
+            self.monitor.count("hermes.moves")
+        return info
+
+    def delete(self, client_node: int, bucket: str, key):
+        lock = self._lock(bucket, key)
+        yield lock.acquire()
+        try:
+            info = yield from self.mdm.delete(client_node, bucket, key)
+            yield from self._drop_all_copies(info)
+            return info
+        finally:
+            lock.release()
+            self._locks.pop((bucket, key), None)
+
+    def _drop_all_copies(self, info: BlobInfo):
+        for node, tier in info.placements:
+            dev = self._device(node, tier)
+            if (info.bucket, info.key) in dev:
+                dev.delete((info.bucket, info.key))
+        if False:  # pragma: no cover - keeps this a generator
+            yield
+
+    def set_score(self, bucket: str, key, score: float) -> None:
+        """Untimed score update on the metadata entry."""
+        info = self.mdm.peek(bucket, key)
+        if info is not None:
+            info.score = score

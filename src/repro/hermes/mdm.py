@@ -1,0 +1,135 @@
+"""Distributed metadata manager.
+
+Blob directory entries are partitioned across nodes by key hash (the
+way Hermes distributes its metadata). A lookup or update from a node
+that does not own the entry costs one small RPC round trip on the
+fabric; owner-local operations are free. Entries themselves are plain
+Python objects — the *time* is simulated, the bookkeeping is real.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.hermes.blob import BlobInfo, BlobNotFound
+from repro.net.fabric import Network
+from repro.sim import Simulator
+
+#: Wire size charged per metadata RPC (request + response envelope).
+MDM_RPC_BYTES = 256
+
+
+def _stable_hash(bucket: str, key: object) -> int:
+    raw = f"{bucket}\x00{key!r}".encode()
+    return int.from_bytes(hashlib.blake2b(raw, digest_size=8).digest(),
+                          "little")
+
+
+class MetadataManager:
+    """Hash-partitioned blob directory with RPC-costed remote access."""
+
+    def __init__(self, sim: Simulator, network: Network, n_nodes: int):
+        self.sim = sim
+        self.network = network
+        self.n_nodes = n_nodes
+        self._shards: list[Dict[Tuple[str, object], BlobInfo]] = [
+            {} for _ in range(n_nodes)
+        ]
+        # Per-node metadata caches: a remote lookup's result is cached
+        # on the requesting node, so repeated accesses to the same
+        # (typically node-local) blob skip the RPC — as Hermes clients
+        # cache blob metadata. A cached entry is valid while it is
+        # still the shard's live object (entries are mutated in place
+        # by moves/score updates and replaced on delete/re-put).
+        self._caches: list[Dict[Tuple[str, object], BlobInfo]] = [
+            {} for _ in range(n_nodes)
+        ]
+        self.rpcs = 0
+        self.cache_hits = 0
+
+    def owner_of(self, bucket: str, key: object) -> int:
+        return _stable_hash(bucket, key) % self.n_nodes
+
+    def _rpc(self, client_node: int, owner: int):
+        if client_node != owner:
+            self.rpcs += 1
+            yield from self.network.transfer(client_node, owner,
+                                             MDM_RPC_BYTES)
+            yield from self.network.transfer(owner, client_node,
+                                             MDM_RPC_BYTES)
+
+    # All methods are generators (timed); `*_local` variants are the
+    # untimed primitives used by runtime components already resident on
+    # the owner node.
+    def _cached(self, client_node: int, bucket: str,
+                key: object) -> Optional[BlobInfo]:
+        entry = self._caches[client_node].get((bucket, key))
+        if entry is None:
+            return None
+        owner = self.owner_of(bucket, key)
+        live = self._shards[owner].get((bucket, key))
+        if live is entry:
+            self.cache_hits += 1
+            return entry
+        self._caches[client_node].pop((bucket, key), None)
+        return None
+
+    def put(self, client_node: int, info: BlobInfo):
+        owner = self.owner_of(info.bucket, info.key)
+        yield from self._rpc(client_node, owner)
+        self._shards[owner][(info.bucket, info.key)] = info
+        self._caches[client_node][(info.bucket, info.key)] = info
+
+    def get(self, client_node: int, bucket: str, key: object):
+        hit = self._cached(client_node, bucket, key)
+        if hit is not None:
+            return hit
+        owner = self.owner_of(bucket, key)
+        yield from self._rpc(client_node, owner)
+        info = self._get_local(owner, bucket, key)
+        self._caches[client_node][(bucket, key)] = info
+        return info
+
+    def try_get(self, client_node: int, bucket: str, key: object):
+        """Like :meth:`get` but returns None instead of raising."""
+        hit = self._cached(client_node, bucket, key)
+        if hit is not None:
+            return hit
+        owner = self.owner_of(bucket, key)
+        yield from self._rpc(client_node, owner)
+        info = self._shards[owner].get((bucket, key))
+        if info is not None:
+            self._caches[client_node][(bucket, key)] = info
+        return info
+
+    def delete(self, client_node: int, bucket: str, key: object):
+        owner = self.owner_of(bucket, key)
+        yield from self._rpc(client_node, owner)
+        info = self._shards[owner].pop((bucket, key), None)
+        self._caches[client_node].pop((bucket, key), None)
+        if info is None:
+            raise BlobNotFound((bucket, key))
+        return info
+
+    def _get_local(self, owner: int, bucket: str, key: object) -> BlobInfo:
+        try:
+            return self._shards[owner][(bucket, key)]
+        except KeyError:
+            raise BlobNotFound((bucket, key)) from None
+
+    def peek(self, bucket: str, key: object) -> Optional[BlobInfo]:
+        """Untimed lookup (tests/verification only)."""
+        owner = self.owner_of(bucket, key)
+        return self._shards[owner].get((bucket, key))
+
+    def list_bucket(self, bucket: str) -> Iterable[BlobInfo]:
+        """Untimed scan over all shards (organizer/stager sweep)."""
+        for shard in self._shards:
+            for (b, _k), info in list(shard.items()):
+                if b == bucket:
+                    yield info
+
+    def all_blobs(self) -> Iterable[BlobInfo]:
+        for shard in self._shards:
+            yield from shard.values()

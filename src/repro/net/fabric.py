@@ -1,0 +1,104 @@
+"""Point-to-point transfer cost model over a two-rack topology."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import Monitor, Resource, Simulator
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Bandwidth (bytes/s) and one-way latency (s) of a link class."""
+
+    bandwidth: float
+    latency: float
+
+    def xfer_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+#: 40 Gb/s RoCE-enabled Ethernet (the testbed's fast network).
+ETH_40G = LinkSpec(bandwidth=40e9 / 8, latency=20e-6)
+#: 10 Gb/s Ethernet (the testbed's slow network; Spark's TCP path).
+ETH_10G = LinkSpec(bandwidth=10e9 / 8, latency=60e-6)
+#: Same-node "transfer": a memcpy at DRAM speed.
+LOOPBACK = LinkSpec(bandwidth=12e9, latency=5e-7)
+
+
+class Network:
+    """The cluster fabric: per-node NICs plus link cost classes.
+
+    ``rack_size`` splits node ids into racks; intra-rack and inter-rack
+    transfers may use different link classes (defaults model the
+    paper's 40 Gb/s network for both, with extra hops inter-rack).
+    """
+
+    def __init__(self, sim: Simulator, n_nodes: int,
+                 intra: LinkSpec = ETH_40G,
+                 inter: Optional[LinkSpec] = None,
+                 rack_size: Optional[int] = None,
+                 loopback: LinkSpec = LOOPBACK,
+                 monitor: Optional[Monitor] = None):
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.intra = intra
+        self.inter = inter or LinkSpec(intra.bandwidth,
+                                       intra.latency * 2.5)
+        self.rack_size = rack_size or n_nodes
+        self.loopback = loopback
+        self.monitor = monitor
+        self._nics = [Resource(sim, capacity=1, name=f"nic{i}")
+                      for i in range(n_nodes)]
+        self.bytes_moved = 0
+
+    def rack_of(self, node: int) -> int:
+        return node // self.rack_size
+
+    def link_for(self, src: int, dst: int) -> LinkSpec:
+        if src == dst:
+            return self.loopback
+        if self.rack_of(src) == self.rack_of(dst):
+            return self.intra
+        return self.inter
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} outside [0, {self.n_nodes})")
+
+    def transfer(self, src: int, dst: int, nbytes: int,
+                 link: Optional[LinkSpec] = None):
+        """Timed movement of ``nbytes`` from ``src`` to ``dst``.
+
+        Generator: ``yield from net.transfer(...)``. Same-node
+        transfers cost a memcpy. The sending NIC is held for the
+        duration, serializing concurrent sends from one node.
+        ``link`` overrides the route's link class (e.g. a TCP stack
+        pinned to the slow 10 Gb/s network).
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if link is None or src == dst:
+            link = self.link_for(src, dst)
+        if src == dst:
+            yield self.sim.timeout(link.xfer_time(nbytes))
+        else:
+            req = self._nics[src].request()
+            yield req
+            try:
+                yield self.sim.timeout(link.xfer_time(nbytes))
+            finally:
+                self._nics[src].release(req)
+        self.bytes_moved += nbytes
+        if self.monitor is not None:
+            self.monitor.count("net.bytes", nbytes)
+            self.monitor.count("net.transfers")
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Uncontended estimate (used by the prefetcher's score model)."""
+        return self.link_for(src, dst).xfer_time(nbytes)

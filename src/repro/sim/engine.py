@@ -1,0 +1,352 @@
+"""Core discrete-event engine: events, processes, and the simulator loop.
+
+Design notes
+------------
+* Events carry a value or an exception. Triggering an event schedules
+  it on the simulator heap; its callbacks run when the heap pops it.
+* A :class:`Process` wraps a generator. Each ``yield`` must produce an
+  :class:`Event`; the process resumes with the event's value (or the
+  exception is thrown into the generator). ``return x`` sets the
+  process's own event value, so processes compose: one process can
+  ``yield`` another.
+* The heap is ordered by ``(time, priority, seq)``; ``seq`` keeps FIFO
+  order among simultaneous events, which makes every simulation run
+  bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Priority for "urgent" events (process resumption) so that control
+#: transfer happens before same-time ordinary timeouts.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *pending*; it becomes *triggered* once
+    :meth:`succeed` or :meth:`fail` is called (the simulator then owns
+    it), and *processed* once its callbacks have run.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self.processed = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"{exc!r} is not an exception")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, priority)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """Event that fires automatically ``delay`` time units from now."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: kicks off a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        sim._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running generator inside the simulation.
+
+    The process is itself an event that triggers when the generator
+    returns (value = return value) or raises (event fails).
+    """
+
+    __slots__ = ("gen", "name", "_target")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"{gen!r} is not a generator")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"{self.name} already terminated")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        evt = Event(self.sim)
+        evt.callbacks = [self._resume]
+        evt._ok = False
+        evt._value = Interrupt(cause)
+        self.sim._schedule(evt, URGENT)
+
+    # -- engine hook ----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.sim._active = self
+        evt: Optional[Event] = event
+        while True:
+            try:
+                if evt is None:
+                    target = next(self.gen)
+                elif evt._ok:
+                    target = self.gen.send(evt._value)
+                else:
+                    # mark the failure as handled by this process
+                    target = self.gen.throw(evt._value)
+            except StopIteration as stop:
+                self.sim._active = None
+                self.succeed(stop.value, priority=URGENT)
+                return
+            except BaseException as exc:
+                self.sim._active = None
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(exc, priority=URGENT)
+                return
+            if not isinstance(target, Event):
+                self.sim._active = None
+                raise SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}")
+            if target.sim is not self.sim:
+                self.sim._active = None
+                raise SimulationError(
+                    "yielded event belongs to a different Simulator")
+            if target.processed or target.callbacks is None:
+                # Already fired: resume immediately with its value.
+                evt = target
+                continue
+            target.callbacks.append(self._resume)
+            self._target = target
+            self.sim._active = None
+            return
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: composite over several events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._count = 0
+        for evt in self.events:
+            if evt.sim is not sim:
+                raise SimulationError("condition spans multiple simulators")
+        if not self.events:
+            self.succeed([])
+            return
+        for evt in self.events:
+            if evt.callbacks is None or evt.processed:
+                self._check(evt)
+            else:
+                evt.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when all constituent events have triggered.
+
+    Value is the list of constituent values, in construction order.
+    Fails fast if any constituent fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers when the first constituent event triggers."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, priority, seq, event)``."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    # -- construction helpers -------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Pop and process a single event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for cb in callbacks:
+            cb(event)
+        event.processed = True
+        if not event._ok and not callbacks:
+            # Nothing was waiting on this failure: surface it rather
+            # than letting the simulation silently continue.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        When ``until`` is an event, returns that event's value (raising
+        its exception if it failed). Unhandled process failures
+        propagate out of :meth:`run`.
+        """
+        stop_evt: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_evt = until
+            if stop_evt.callbacks is not None:
+                # Mark the stop event as observed so a failure is
+                # reported by run() itself rather than from step().
+                stop_evt.callbacks.append(lambda _evt: None)
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self.now:
+                raise ValueError("deadline lies in the past")
+        while self._heap:
+            if stop_evt is not None and stop_evt.processed:
+                break
+            if self.peek() > deadline:
+                self.now = deadline
+                return None
+            self.step()
+        if stop_evt is not None:
+            if not stop_evt.triggered:
+                raise SimulationError("run() ended before `until` event fired")
+            if not stop_evt._ok:
+                raise stop_evt._value
+            return stop_evt._value
+        return None

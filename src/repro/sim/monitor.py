@@ -1,0 +1,118 @@
+"""Time-series statistics collection (the `pymonitor` stand-in).
+
+The paper's artifact deploys a monitoring tool ("pymonitor") per node
+producing time-series CSVs of CPU, network, and storage utilization,
+which Jarvis aggregates into a ``stats_dict.csv``. :class:`Monitor`
+plays that role: simulated components record gauges (bytes resident in
+DRAM, device queue depth, ...) and counters (bytes read/written, page
+faults), and the benchmark harness aggregates peaks/averages per run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+class TimeSeries:
+    """A step-wise time series of (time, value) samples."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self):
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, t: float, value: float) -> None:
+        if self.samples and t < self.samples[-1][0]:
+            raise ValueError("samples must be recorded in time order")
+        self.samples.append((t, value))
+
+    @property
+    def last(self) -> float:
+        return self.samples[-1][1] if self.samples else 0.0
+
+    @property
+    def peak(self) -> float:
+        return max((v for _, v in self.samples), default=0.0)
+
+    @property
+    def minimum(self) -> float:
+        return min((v for _, v in self.samples), default=0.0)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted average, treating the series as a step function."""
+        if not self.samples:
+            return 0.0
+        end = until if until is not None else self.samples[-1][0]
+        total = 0.0
+        span = end - self.samples[0][0]
+        if span <= 0:
+            return self.samples[-1][1]
+        for (t0, v0), (t1, _v1) in zip(self.samples, self.samples[1:]):
+            total += v0 * (t1 - t0)
+        total += self.samples[-1][1] * (end - self.samples[-1][0])
+        return total / span
+
+
+class Gauge:
+    """A named instantaneous quantity with add/sub convenience."""
+
+    __slots__ = ("monitor", "name", "value", "series")
+
+    def __init__(self, monitor: "Monitor", name: str):
+        self.monitor = monitor
+        self.name = name
+        self.value = 0.0
+        self.series = TimeSeries()
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.series.record(self.monitor.sim.now, value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def sub(self, delta: float) -> None:
+        self.set(self.value - delta)
+
+    @property
+    def peak(self) -> float:
+        return self.series.peak
+
+    def time_average(self) -> float:
+        return self.series.time_average(until=self.monitor.sim.now)
+
+
+class Monitor:
+    """Registry of gauges and counters keyed by dotted names."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.gauges: Dict[str, Gauge] = {}
+        self.counters: Dict[str, float] = {}
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(self, name)
+        return self.gauges[name]
+
+    def count(self, name: str, delta: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + delta
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def peak(self, name: str) -> float:
+        g = self.gauges.get(name)
+        return g.peak if g else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of counters plus per-gauge peak and time average."""
+        out: Dict[str, float] = dict(self.counters)
+        for name, g in self.gauges.items():
+            out[f"{name}.peak"] = g.peak
+            avg = g.time_average()
+            out[f"{name}.avg"] = avg if math.isfinite(avg) else 0.0
+        return out

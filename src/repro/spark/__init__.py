@@ -1,0 +1,21 @@
+"""Mini-Spark: the Cloud analytics baseline (Apache Spark stand-in).
+
+The paper compares MegaMmap against Apache Spark 3.4.1 MLlib (fault
+tolerance disabled). This package reproduces the *behavioural*
+properties the evaluation attributes to Spark:
+
+* per-stage partition materialization with cached parents — the source
+  of the observed 3–4× DRAM amplification;
+* TCP on the slow 10 Gb/s network plus JVM/serialization compute
+  overhead ("its use of the slower TCP protocol and Java Runtime");
+* driver-coordinated stages with tree aggregation;
+* MLlib-style KMeans‖ and RandomForest on RDDs.
+
+Executor memory is reserved on the node DRAM devices, so Spark runs
+are subject to the same OOM rules as everything else.
+"""
+
+from repro.spark.core import RDD, SparkSim
+from repro.spark.mllib import mllib_kmeans, mllib_random_forest
+
+__all__ = ["RDD", "SparkSim", "mllib_kmeans", "mllib_random_forest"]

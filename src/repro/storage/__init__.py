@@ -1,0 +1,48 @@
+"""Tiered storage substrate: devices, tiers, DMSH, and persistent backends.
+
+Models the paper's testbed hardware — per compute node: 48 GB DRAM,
+128 GB NVMe (PCIe x8), 256 GB SATA SSD, 1 TB HDD — as simulated
+devices that hold *real* byte buffers while charging simulated time for
+every transfer. The **Deep Memory and Storage Hierarchy (DMSH)** is the
+per-node ordered stack of those devices. Persistent dataset backends
+(`posix://`, `hdf5://`, `parquet://`, with `*` multi-file mapping) are
+real on-disk file formats used by the Data Stager.
+"""
+
+from repro.storage.device import Device, DeviceFullError, DeviceSpec
+from repro.storage.dmsh import DMSH
+from repro.storage.tiers import (
+    CXL,
+    DRAM,
+    HDD,
+    NVME,
+    SATA_SSD,
+    TIER_PRESETS,
+    scaled,
+)
+from repro.storage.backend import (
+    Backend,
+    BackendError,
+    ParsedUrl,
+    open_backend,
+    parse_url,
+)
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "CXL",
+    "DMSH",
+    "DRAM",
+    "Device",
+    "DeviceFullError",
+    "DeviceSpec",
+    "HDD",
+    "NVME",
+    "ParsedUrl",
+    "SATA_SSD",
+    "TIER_PRESETS",
+    "open_backend",
+    "parse_url",
+    "scaled",
+]

@@ -1,0 +1,108 @@
+"""Client-local NVM caching filesystem (Assise stand-in).
+
+Assise (OSDI '20) keeps a client-local NVM log/cache in front of the
+shared filesystem: writes land in local NVM and are flushed back
+asynchronously; reads hit the local cache when possible. This model
+reproduces exactly that timing behaviour (synchronous local-NVM cost,
+asynchronous remote flush, cache-hit reads) over :class:`ParallelFS`
+as the shared tier. Authoritative file content lives in the PFS — the
+local cache tracks *extents* for hit/miss timing, which keeps the data
+path simple without changing any byte a caller observes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim import Simulator
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.pfs import ParallelFS
+from repro.storage.tiers import NVME
+
+
+class AssiseFS:
+    """Per-client-node NVM write-back cache over a PFS.
+
+    Writes follow Assise's crash-consistency protocol: append to the
+    local NVM log, then **chain-replicate synchronously** to the next
+    client's NVM before acknowledging (the availability guarantee of
+    the original system), then drain to the shared FS asynchronously.
+    """
+
+    def __init__(self, sim: Simulator, pfs: ParallelFS,
+                 client_nodes: List[int],
+                 nvm_spec: DeviceSpec = NVME,
+                 replicate: bool = True):
+        self.sim = sim
+        self.pfs = pfs
+        self.replicate = replicate and len(client_nodes) > 1
+        self._nodes = list(client_nodes)
+        self.caches: Dict[int, Device] = {
+            node: Device(sim, nvm_spec, name=f"assise{node}.nvm")
+            for node in client_nodes
+        }
+        # Per node: list of (path, offset, nbytes) cached extents (LRU
+        # order: oldest first) plus bytes used.
+        self._extents: Dict[int, List[Tuple[str, int, int]]] = {
+            node: [] for node in client_nodes
+        }
+        self._pending: Dict[int, int] = {node: 0 for node in client_nodes}
+
+    def _cache_insert(self, node: int, path: str, offset: int,
+                      nbytes: int) -> None:
+        cache = self.caches[node]
+        extents = self._extents[node]
+        while extents and not cache.fits(nbytes):
+            _, _, old_n = extents.pop(0)
+            cache.unreserve(old_n)
+        if cache.fits(nbytes):
+            cache.reserve(nbytes)
+            extents.append((path, offset, nbytes))
+
+    def _cache_hit(self, node: int, path: str, offset: int,
+                   nbytes: int) -> bool:
+        for i, (p, off, n) in enumerate(self._extents[node]):
+            if p == path and off <= offset and offset + nbytes <= off + n:
+                # LRU touch.
+                self._extents[node].append(self._extents[node].pop(i))
+                return True
+        return False
+
+    def write(self, client_node: int, path: str, offset: int, data):
+        """Local NVM write + synchronous chain replication, then an
+        async flush to the PFS."""
+        data = bytes(data)
+        cache = self.caches[client_node]
+        yield from cache.charge(len(data), write=True)
+        if self.replicate:
+            peer = self._nodes[(self._nodes.index(client_node) + 1)
+                               % len(self._nodes)]
+            yield from self.pfs.network.transfer(client_node, peer,
+                                                 len(data))
+            yield from self.caches[peer].charge(len(data), write=True)
+        self._cache_insert(client_node, path, offset, len(data))
+        self._pending[client_node] += len(data)
+
+        def flush():
+            yield from self.pfs.write(client_node, path, offset, data)
+            self._pending[client_node] -= len(data)
+
+        self.sim.process(flush(), name=f"assise.flush@{client_node}")
+
+    def read(self, client_node: int, path: str, offset: int, nbytes: int):
+        """Cache-hit local read or remote PFS read."""
+        yield from self.drain(client_node)  # read-your-writes
+        if self._cache_hit(client_node, path, offset, nbytes):
+            # Served from local NVM: no network, no PFS time. Content
+            # comes from the (already drained) authoritative PFS copy.
+            cache = self.caches[client_node]
+            yield from cache.charge(nbytes, write=False)
+            return bytes(self.pfs._file(path)[offset:offset + nbytes])
+        data = yield from self.pfs.read(client_node, path, offset, nbytes)
+        self._cache_insert(client_node, path, offset, nbytes)
+        return data
+
+    def drain(self, client_node: int):
+        """Wait for this node's async flushes to land (fsync)."""
+        while self._pending[client_node] > 0:
+            yield self.sim.timeout(1e-4)

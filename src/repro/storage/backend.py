@@ -1,0 +1,208 @@
+"""Persistent dataset backends and ``proto://URI:params`` URL parsing.
+
+Paper III-A ("Presenting Persistent Datasets as Memory"): *"the key of
+the vector is structured as a URL (i.e., 'protocol://URI:params') ...
+For example, an HDF5 group could be represented with the URL
+``hdf5:///path/to/df.h5:mygroup``. Alternatively, multiple data
+objects ... can be mapped as a single uniform vector via a regex query
+such as ``file:///path/to/dataset.parquet*``."*
+
+A backend exposes a dataset as a flat, byte-addressable logical image
+(`size`, `read_range`, `write_range`, `ensure_size`) regardless of the
+on-disk layout; the format modules translate. All backend I/O is real
+file I/O — simulated *time* for staging is charged separately by the
+Data Stager through the device/network models.
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class BackendError(RuntimeError):
+    """Raised for malformed URLs or format violations."""
+
+
+@dataclass(frozen=True)
+class ParsedUrl:
+    """Decomposed ``protocol://URI:params`` vector key."""
+
+    scheme: str
+    path: str
+    params: str = ""
+
+    @property
+    def is_multi(self) -> bool:
+        return "*" in self.path or "?" in self.path
+
+
+def parse_url(url: str) -> ParsedUrl:
+    """Split a vector key URL into scheme, path, and params.
+
+    The params separator is the *last* ``:`` of the URI, and only when
+    the text after it contains no ``/`` (so paths with colons in
+    directory names survive).
+    """
+    if "://" not in url:
+        raise BackendError(f"not a URL (missing '://'): {url!r}")
+    scheme, rest = url.split("://", 1)
+    if not scheme:
+        raise BackendError(f"empty scheme in {url!r}")
+    if not rest:
+        raise BackendError(f"empty path in {url!r}")
+    path, params = rest, ""
+    if ":" in rest:
+        head, _, tail = rest.rpartition(":")
+        if tail and "/" not in tail:
+            path, params = head, tail
+    if not path:
+        raise BackendError(f"empty path in {url!r}")
+    return ParsedUrl(scheme=scheme.lower(), path=path, params=params)
+
+
+class Backend:
+    """Abstract flat byte image over a persistent dataset."""
+
+    def __init__(self, url: ParsedUrl):
+        self.url = url
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def read_range(self, offset: int, nbytes: int) -> bytes:
+        raise NotImplementedError
+
+    def write_range(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def ensure_size(self, nbytes: int) -> None:
+        """Grow the logical image (zero-filled) to at least ``nbytes``."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Make all writes durable on the real filesystem."""
+
+    def close(self) -> None:
+        self.flush()
+
+    def exists(self) -> bool:
+        return os.path.exists(self.url.path)
+
+    def destroy(self) -> None:
+        """Remove the persistent object entirely."""
+        if os.path.exists(self.url.path):
+            os.remove(self.url.path)
+
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0:
+            raise BackendError(f"negative range ({offset}, {nbytes})")
+        if offset + nbytes > self.size():
+            raise BackendError(
+                f"range [{offset}, {offset + nbytes}) beyond image of "
+                f"{self.size()} bytes in {self.url}")
+
+
+class MultiBackend(Backend):
+    """Concatenation of several files matched by a wildcard path.
+
+    Read-only by design (matches the paper's use: mapping a
+    file-per-process simulation output as one uniform vector).
+    """
+
+    def __init__(self, url: ParsedUrl, parts: list[Backend]):
+        super().__init__(url)
+        if not parts:
+            raise BackendError(f"wildcard matched no files: {url.path!r}")
+        self.parts = parts
+        self._offsets = []
+        total = 0
+        for p in parts:
+            self._offsets.append(total)
+            total += p.size()
+        self._size = total
+
+    def size(self) -> int:
+        return self._size
+
+    def read_range(self, offset: int, nbytes: int) -> bytes:
+        self._check_range(offset, nbytes)
+        out = bytearray()
+        remaining = nbytes
+        pos = offset
+        for start, part in zip(self._offsets, self.parts):
+            end = start + part.size()
+            if pos >= end or remaining == 0:
+                continue
+            if pos < start:
+                break
+            take = min(remaining, end - pos)
+            out += part.read_range(pos - start, take)
+            pos += take
+            remaining -= take
+        if remaining:
+            raise BackendError("short read across multi-file backend")
+        return bytes(out)
+
+    def write_range(self, offset: int, data: bytes) -> None:
+        raise BackendError("multi-file (wildcard) vectors are read-only")
+
+    def ensure_size(self, nbytes: int) -> None:
+        if nbytes > self._size:
+            raise BackendError("multi-file (wildcard) vectors are read-only")
+
+    def exists(self) -> bool:
+        return all(p.exists() for p in self.parts)
+
+    def destroy(self) -> None:
+        for p in self.parts:
+            p.destroy()
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_scheme(scheme: str, cls: type) -> None:
+    _REGISTRY[scheme] = cls
+
+
+def open_backend(url: str, dtype: Optional[np.dtype] = None,
+                 create: bool = False) -> Backend:
+    """Open (or create) the backend for a vector key URL.
+
+    ``dtype`` informs columnar formats how to shred records; ignored by
+    byte-oriented formats.
+    """
+    parsed = parse_url(url)
+    cls = _REGISTRY.get(parsed.scheme)
+    if cls is None:
+        raise BackendError(
+            f"unknown scheme {parsed.scheme!r}; known: {sorted(_REGISTRY)}")
+    if parsed.is_multi:
+        paths = sorted(_glob.glob(parsed.path))
+        parts = [
+            cls(ParsedUrl(parsed.scheme, p, parsed.params), dtype=dtype,
+                create=False)
+            for p in paths
+        ]
+        return MultiBackend(parsed, parts)
+    return cls(parsed, dtype=dtype, create=create)
+
+
+def _register_builtin_schemes() -> None:
+    # Imported lazily to avoid circular imports at module load.
+    from repro.storage.formats.posix import PosixBackend
+    from repro.storage.formats.hdf5sim import Hdf5SimBackend
+    from repro.storage.formats.parquetsim import ParquetSimBackend
+
+    register_scheme("posix", PosixBackend)
+    register_scheme("file", PosixBackend)
+    register_scheme("hdf5", Hdf5SimBackend)
+    register_scheme("parquet", ParquetSimBackend)
+
+
+_register_builtin_schemes()

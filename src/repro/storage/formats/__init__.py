@@ -1,0 +1,14 @@
+"""On-disk container formats used by the Data Stager.
+
+Stand-ins for the I/O libraries the paper's stager integrates with
+(HDF5 1.14, parquet, POSIX): real, from-scratch binary formats with the
+same *structural* character — ``hdf5sim`` is a group-addressed chunked
+container, ``parquetsim`` is columnar with row groups and a footer
+index, ``posix`` is a raw byte file.
+"""
+
+from repro.storage.formats.posix import PosixBackend
+from repro.storage.formats.hdf5sim import Hdf5SimBackend
+from repro.storage.formats.parquetsim import ParquetSimBackend
+
+__all__ = ["Hdf5SimBackend", "ParquetSimBackend", "PosixBackend"]

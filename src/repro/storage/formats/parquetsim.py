@@ -1,0 +1,220 @@
+"""A columnar, row-grouped container format (``parquet://`` scheme).
+
+Structural stand-in for Apache Parquet: records are shredded into
+per-field column chunks grouped into row groups, with a JSON footer
+index at the tail. Layout::
+
+    [magic "PQS1"]
+    [row group 0: column chunks back to back]
+    [row group 1: ...]
+    [JSON footer][u64 footer_offset][magic "PQS1"]
+
+The backend presents the file as a flat image of *row-major packed
+records* — the row-major <-> columnar conversion that a real parquet
+reader performs happens in :meth:`read_range`/:meth:`write_range`, so
+the Data Stager exercises a genuinely columnar code path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.backend import Backend, BackendError, ParsedUrl
+
+MAGIC = b"PQS1"
+TAIL = struct.Struct("<Q4s")  # footer offset, magic
+
+#: Records per row group when appending (parquet's row-group batching).
+DEFAULT_ROW_GROUP = 8192
+
+
+def _packed(dtype: np.dtype) -> np.dtype:
+    """Packed (unaligned) version of a dtype; scalars become 1 field."""
+    dtype = np.dtype(dtype)
+    if dtype.names:
+        return np.dtype([(n, dtype.fields[n][0].str) for n in dtype.names])
+    return np.dtype([("v", dtype.str)])
+
+
+class ParquetSimBackend(Backend):
+    """Columnar container presented as flat row-major records."""
+
+    def __init__(self, url: ParsedUrl, dtype: Optional[np.dtype] = None,
+                 create: bool = False):
+        super().__init__(url)
+        self.path = url.path
+        if not os.path.exists(self.path):
+            if not create:
+                raise BackendError(f"no such file: {self.path}")
+            if dtype is None:
+                raise BackendError(
+                    "creating a parquet backend requires a dtype")
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self.dtype = _packed(dtype)
+            footer = {"fields": [[n, self.dtype.fields[n][0].str]
+                                 for n in self.dtype.names],
+                      "row_groups": []}
+            with open(self.path, "wb") as fh:
+                fh.write(MAGIC)
+                self._write_footer(fh, footer)
+            self._footer = footer
+        else:
+            self._footer = self._load_footer()
+            self.dtype = np.dtype(
+                [(n, d) for n, d in self._footer["fields"]])
+            if dtype is not None and _packed(dtype) != self.dtype:
+                raise BackendError(
+                    f"dtype mismatch: file has {self.dtype}, "
+                    f"caller wants {_packed(dtype)}")
+
+    # -- footer plumbing ---------------------------------------------------
+    def _load_footer(self) -> dict:
+        with open(self.path, "rb") as fh:
+            fh.seek(0)
+            if fh.read(4) != MAGIC:
+                raise BackendError(f"{self.path} is not a parquetsim file")
+            fh.seek(-TAIL.size, os.SEEK_END)
+            off, magic = TAIL.unpack(fh.read(TAIL.size))
+            if magic != MAGIC:
+                raise BackendError(f"corrupt tail magic in {self.path}")
+            fh.seek(off)
+            raw = fh.read(os.path.getsize(self.path) - TAIL.size - off)
+        try:
+            return json.loads(raw.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise BackendError(
+                f"corrupt footer in {self.path}: {exc}") from exc
+
+    @staticmethod
+    def _write_footer(fh, footer: dict) -> None:
+        fh.seek(0, os.SEEK_END)
+        off = fh.tell()
+        fh.write(json.dumps(footer).encode())
+        fh.write(TAIL.pack(off, MAGIC))
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    @property
+    def n_records(self) -> int:
+        return sum(rg["rows"] for rg in self._footer["row_groups"])
+
+    def size(self) -> int:
+        return self.n_records * self.itemsize
+
+    def _groups_for(self, r0: int, r1: int):
+        """Yield (row_group, group_start_row) overlapping records [r0, r1)."""
+        start = 0
+        for rg in self._footer["row_groups"]:
+            end = start + rg["rows"]
+            if start < r1 and end > r0:
+                yield rg, start
+            start = end
+
+    # -- record I/O ------------------------------------------------------------
+    def read_records(self, r0: int, r1: int) -> np.ndarray:
+        """Read records [r0, r1) as a packed structured array."""
+        if r0 < 0 or r1 > self.n_records or r0 > r1:
+            raise BackendError(
+                f"record range [{r0}, {r1}) outside {self.n_records}")
+        out = np.zeros(r1 - r0, dtype=self.dtype)
+        with open(self.path, "rb") as fh:
+            for rg, start in self._groups_for(r0, r1):
+                lo = max(r0, start) - start
+                hi = min(r1, start + rg["rows"]) - start
+                dst0 = start + lo - r0
+                for name in self.dtype.names:
+                    fdt = np.dtype(dict(self._footer["fields"])[name])
+                    col = rg["columns"][name]
+                    fh.seek(col["offset"] + lo * fdt.itemsize)
+                    raw = fh.read((hi - lo) * fdt.itemsize)
+                    out[name][dst0:dst0 + hi - lo] = np.frombuffer(
+                        raw, dtype=fdt)
+        return out
+
+    def write_records(self, r0: int, records: np.ndarray) -> None:
+        """Overwrite records starting at ``r0`` (no growth)."""
+        records = np.ascontiguousarray(records, dtype=self.dtype)
+        r1 = r0 + len(records)
+        if r0 < 0 or r1 > self.n_records:
+            raise BackendError(
+                f"record range [{r0}, {r1}) outside {self.n_records}")
+        with open(self.path, "r+b") as fh:
+            for rg, start in self._groups_for(r0, r1):
+                lo = max(r0, start) - start
+                hi = min(r1, start + rg["rows"]) - start
+                src0 = start + lo - r0
+                for name in self.dtype.names:
+                    fdt = np.dtype(dict(self._footer["fields"])[name])
+                    col = rg["columns"][name]
+                    fh.seek(col["offset"] + lo * fdt.itemsize)
+                    fh.write(np.ascontiguousarray(
+                        records[name][src0:src0 + hi - lo]).tobytes())
+
+    def append_records(self, records: np.ndarray) -> None:
+        """Append a new row group holding ``records``."""
+        records = np.ascontiguousarray(records, dtype=self.dtype)
+        if len(records) == 0:
+            return
+        with open(self.path, "r+b") as fh:
+            footer = self._load_footer()
+            # Footer sits at the tail; new data overwrites it.
+            fh.seek(-TAIL.size, os.SEEK_END)
+            foot_off, _ = TAIL.unpack(fh.read(TAIL.size))
+            fh.seek(foot_off)
+            fh.truncate()
+            columns = {}
+            for name in self.dtype.names:
+                off = fh.tell()
+                raw = np.ascontiguousarray(records[name]).tobytes()
+                fh.write(raw)
+                columns[name] = {"offset": off, "nbytes": len(raw)}
+            footer["row_groups"].append(
+                {"rows": int(len(records)), "columns": columns})
+            self._write_footer(fh, footer)
+            self._footer = footer
+
+    # -- flat byte image -------------------------------------------------------
+    def read_range(self, offset: int, nbytes: int) -> bytes:
+        self._check_range(offset, nbytes)
+        if nbytes == 0:
+            return b""
+        isz = self.itemsize
+        r0, r1 = offset // isz, -(-(offset + nbytes) // isz)
+        raw = self.read_records(r0, r1).tobytes()
+        head = offset - r0 * isz
+        return raw[head:head + nbytes]
+
+    def write_range(self, offset: int, data: bytes) -> None:
+        data = bytes(data)
+        self._check_range(offset, len(data))
+        if not data:
+            return
+        isz = self.itemsize
+        r0, r1 = offset // isz, -(-(offset + len(data)) // isz)
+        # Read-modify-write the covering record range (parquet cannot
+        # update partial values in place either).
+        recs = self.read_records(r0, r1)
+        buf = bytearray(recs.tobytes())
+        head = offset - r0 * isz
+        buf[head:head + len(data)] = data
+        self.write_records(r0, np.frombuffer(bytes(buf), dtype=self.dtype))
+
+    def ensure_size(self, nbytes: int) -> None:
+        isz = self.itemsize
+        if nbytes % isz:
+            nbytes = (nbytes // isz + 1) * isz
+        need = nbytes // isz - self.n_records
+        while need > 0:
+            batch = min(need, DEFAULT_ROW_GROUP)
+            self.append_records(np.zeros(batch, dtype=self.dtype))
+            need -= batch

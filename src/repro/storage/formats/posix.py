@@ -1,0 +1,54 @@
+"""Raw byte-file backend (``posix://`` and ``file://`` schemes)."""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.backend import Backend, BackendError, ParsedUrl
+
+
+class PosixBackend(Backend):
+    """A plain binary file: the logical image *is* the file."""
+
+    def __init__(self, url: ParsedUrl, dtype: Optional[np.dtype] = None,
+                 create: bool = False):
+        super().__init__(url)
+        self.path = url.path
+        if create and not os.path.exists(self.path):
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "wb"):
+                pass
+        if not os.path.exists(self.path):
+            raise BackendError(f"no such file: {self.path}")
+
+    def size(self) -> int:
+        return os.path.getsize(self.path)
+
+    def read_range(self, offset: int, nbytes: int) -> bytes:
+        self._check_range(offset, nbytes)
+        with open(self.path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read(nbytes)
+        if len(data) != nbytes:
+            raise BackendError(f"short read from {self.path}")
+        return data
+
+    def write_range(self, offset: int, data: bytes) -> None:
+        if offset < 0:
+            raise BackendError(f"negative offset {offset}")
+        with open(self.path, "r+b") as fh:
+            end = fh.seek(0, os.SEEK_END)
+            if offset > end:
+                fh.write(b"\0" * (offset - end))
+            fh.seek(offset)
+            fh.write(bytes(data))
+
+    def ensure_size(self, nbytes: int) -> None:
+        if self.size() < nbytes:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(nbytes)

@@ -1,0 +1,132 @@
+"""A striped parallel filesystem (OrangeFS stand-in).
+
+Files are striped round-robin across server devices living on the
+storage rack; client I/O charges network transfer to each server plus
+the server device's transfer time, with stripes proceeding in parallel
+(the source of PFS aggregate bandwidth). Content is functional: each
+file is a real bytearray, so baselines can read back what they wrote.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.fabric import Network
+from repro.sim import AllOf, Monitor, Simulator
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.tiers import HDD, MB
+
+
+class PfsError(RuntimeError):
+    """Raised for bad paths/ranges on the parallel filesystem."""
+
+
+class ParallelFS:
+    """OrangeFS-like striped file service."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 server_nodes: List[int],
+                 server_spec: DeviceSpec = HDD,
+                 stripe_size: int = MB,
+                 monitor: Optional[Monitor] = None):
+        if not server_nodes:
+            raise ValueError("PFS needs at least one server node")
+        if stripe_size < 1:
+            raise ValueError(f"stripe_size must be >= 1, got {stripe_size}")
+        self.sim = sim
+        self.network = network
+        self.server_nodes = list(server_nodes)
+        self.stripe_size = stripe_size
+        self.devices = [
+            Device(sim, server_spec, name=f"pfs{node}.{server_spec.kind}",
+                   monitor=monitor)
+            for node in server_nodes
+        ]
+        self._files: Dict[str, bytearray] = {}
+
+    # -- namespace ----------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def create(self, path: str) -> None:
+        self._files.setdefault(path, bytearray())
+
+    def size(self, path: str) -> int:
+        return len(self._file(path))
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def paths(self) -> List[str]:
+        return sorted(self._files)
+
+    def _file(self, path: str) -> bytearray:
+        if path not in self._files:
+            raise PfsError(f"no such PFS file: {path}")
+        return self._files[path]
+
+    def _server_of(self, stripe_idx: int) -> int:
+        return stripe_idx % len(self.devices)
+
+    # -- striped timed I/O ----------------------------------------------------
+    def _stripe_op(self, client_node: int, stripe_idx: int, nbytes: int,
+                   write: bool):
+        srv = self._server_of(stripe_idx)
+        if write:
+            yield from self.network.transfer(
+                client_node, self.server_nodes[srv], nbytes)
+            yield from self.devices[srv].charge(nbytes, write=True)
+        else:
+            yield from self.devices[srv].charge(nbytes, write=False)
+            yield from self.network.transfer(
+                self.server_nodes[srv], client_node, nbytes)
+
+    def _striped(self, client_node: int, offset: int, nbytes: int,
+                 write: bool):
+        """Run all stripe transfers for a range, in parallel."""
+        procs = []
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            stripe_idx = pos // self.stripe_size
+            take = min(end - pos, (stripe_idx + 1) * self.stripe_size - pos)
+            procs.append(self.sim.process(
+                self._stripe_op(client_node, stripe_idx, take, write),
+                name=f"pfs.stripe{stripe_idx}"))
+            pos += take
+        if procs:
+            yield AllOf(self.sim, procs)
+
+    def write(self, client_node: int, path: str, offset: int, data):
+        """Timed striped write; creates/grows the file as needed.
+        Generator."""
+        data = bytes(data)
+        self.create(path)
+        buf = self._files[path]
+        if offset < 0:
+            raise PfsError(f"negative offset {offset}")
+        if offset > len(buf):
+            buf.extend(b"\0" * (offset - len(buf)))
+        yield from self._striped(client_node, offset, len(data), write=True)
+        end = offset + len(data)
+        if end > len(buf):
+            buf.extend(b"\0" * (end - len(buf)))
+        buf[offset:end] = data
+
+    def read(self, client_node: int, path: str, offset: int, nbytes: int):
+        """Timed striped read; returns bytes. Generator."""
+        buf = self._file(path)
+        if offset < 0 or offset + nbytes > len(buf):
+            raise PfsError(
+                f"range [{offset}, {offset + nbytes}) outside {path} "
+                f"of {len(buf)} bytes")
+        yield from self._striped(client_node, offset, nbytes, write=False)
+        return bytes(buf[offset:offset + nbytes])
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(d.bytes_written for d in self.devices)
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(d.bytes_read for d in self.devices)

@@ -1,0 +1,21 @@
+"""Shared fixtures for application tests: a small cluster + dataset."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core.config import MegaMmapConfig
+from repro.storage.tiers import DRAM, MB, NVME, SATA_SSD, scaled
+
+
+def make_cluster(n_nodes=2, procs_per_node=2, dram_mb=16, nvme_mb=64,
+                 page_size=64 * 1024, pcache=256 * 1024, pfs_servers=1,
+                 pfs_spec=None, **cfg):
+    return SimCluster(
+        n_nodes=n_nodes, procs_per_node=procs_per_node,
+        pfs_servers=pfs_servers,
+        pfs_spec=pfs_spec or scaled(SATA_SSD, 4096 * MB),
+        tiers=(scaled(DRAM, dram_mb * MB), scaled(NVME, nvme_mb * MB)),
+        config=MegaMmapConfig(page_size=page_size, pcache_size=pcache,
+                              **cfg),
+    )

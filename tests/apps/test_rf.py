@@ -1,0 +1,163 @@
+"""Random Forest: unit tests for the split machinery + both versions."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datagen import PARTICLE, generate_points, write_gadget_like
+from repro.apps.rf.common import (
+    FEATURE6,
+    accuracy,
+    best_split,
+    class_counts,
+    edges_from_minmax,
+    hist_stats,
+    leaf_label,
+    merge_hists,
+    merge_minmax,
+    minmax_stats,
+    predict_tree,
+    reference_tree,
+    rf_predict,
+    to_features,
+)
+from repro.apps.rf.mm_rf import mm_random_forest
+from repro.apps.rf.spark_rf import spark_random_forest
+from repro.sim.rand import rng_stream
+from repro.storage import open_backend
+from tests.apps.conftest import make_cluster
+
+
+def toy_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = (X[:, 1] > 0.5).astype(np.int64)  # single clean split
+    return X, y
+
+
+def test_minmax_merge_identity_on_empty():
+    X, _ = toy_data()
+    a = minmax_stats(X, [0, 1])
+    e = minmax_stats(np.empty((0, 3)), [0, 1])
+    merged = merge_minmax(a, e)
+    assert np.allclose(merged[0], a[0])
+    assert np.allclose(merged[1], a[1])
+
+
+def test_hist_stats_total_matches_population():
+    X, y = toy_data()
+    edges = edges_from_minmax(*minmax_stats(X, [1]))
+    hists = hist_stats(X, y, [1], edges)
+    assert hists[0].sum() == len(X)
+
+
+def test_hist_merge_equals_joint():
+    X, y = toy_data()
+    edges = edges_from_minmax(*minmax_stats(X, [0, 2]))
+    whole = hist_stats(X, y, [0, 2], edges)
+    parts = merge_hists(
+        hist_stats(X[:200], y[:200], [0, 2], edges),
+        hist_stats(X[200:], y[200:], [0, 2], edges))
+    for w, p in zip(whole, parts):
+        assert np.array_equal(w, p)
+
+
+def test_best_split_finds_the_clean_feature():
+    X, y = toy_data()
+    subset = [0, 1, 2]
+    edges = edges_from_minmax(*minmax_stats(X, subset))
+    hists = hist_stats(X, y, subset, edges)
+    f, th, gain = best_split(subset, edges, hists)
+    assert f == 1
+    assert abs(th - 0.5) < 0.5
+    assert gain > 0.1
+
+
+def test_best_split_none_on_pure_node():
+    X, _ = toy_data()
+    y = np.zeros(len(X), dtype=np.int64)
+    edges = edges_from_minmax(*minmax_stats(X, [0]))
+    hists = hist_stats(X, y, [0], edges)
+    f, _, gain = best_split([0], edges, hists)
+    assert f is None or gain <= 1e-9
+
+
+def test_reference_tree_learns_and_predicts():
+    X, y = toy_data(800)
+    tree = reference_tree(X, y, max_depth=4,
+                          rng=rng_stream(0, "t"))
+    pred = predict_tree(tree, X)
+    assert accuracy(pred, y) > 0.9
+
+
+def test_rf_predict_majority_vote():
+    t_a = {"leaf": 0}
+    t_b = {"leaf": 1}
+    X = np.zeros((3, 2))
+    assert list(rf_predict([t_a, t_a, t_b], X)) == [0, 0, 0]
+
+
+def test_leaf_label_and_class_counts():
+    y = np.array([2, 2, 5])
+    counts = class_counts(y)
+    assert counts[2] == 2 and counts[5] == 1
+    assert leaf_label(counts) == 2
+
+
+@pytest.fixture(scope="module")
+def rf_dataset(tmp_path_factory):
+    """A Gadget-like snapshot + labels file (the paper's RF input:
+    particle features predict halo membership)."""
+    base = tmp_path_factory.mktemp("rf")
+    snap = base / "snap.h5"
+    labels = write_gadget_like(str(snap), 6000, 3, seed=21)
+    # RF needs nonnegative classes: background (-1) -> class 0,
+    # halos -> 1..k (as the paper's cluster assignments from KMeans).
+    classes = (labels + 1).astype(np.int32)
+    lab_path = base / "labels.bin"
+    classes.tofile(lab_path)
+    pts, _ = generate_points(6000, 3, seed=21, with_velocity=True)
+    return (f"hdf5://{snap}:parttype0", f"posix://{lab_path}",
+            to_features(pts), classes.astype(np.int64))
+
+
+def test_mm_rf_learns_halo_membership(rf_dataset):
+    url, labels_url, X, y = rf_dataset
+    cluster = make_cluster()
+    res = cluster.run(mm_random_forest, url, labels_url, 3, 8, 2)
+    trees = res.values[0]
+    # SPMD: all ranks build identical trees.
+    for other in res.values[1:]:
+        assert other == trees
+    pred = rf_predict(trees, X)
+    assert accuracy(pred, y) > 0.8
+
+
+def test_mm_rf_num_trees(rf_dataset):
+    url, labels_url, _, _ = rf_dataset
+    cluster = make_cluster()
+    res = cluster.run(mm_random_forest, url, labels_url, 2, 4, 4)
+    assert len(res.values[0]) == 2
+
+
+def test_spark_rf_learns_halo_membership(rf_dataset):
+    url, labels_url, X, y = rf_dataset
+    cluster = make_cluster()
+    res = cluster.run_driver(spark_random_forest(
+        cluster, url, labels_url, num_trees=3, max_depth=8, oob=2,
+        test_X=X, test_y=y))
+    trees, acc = res.values[0]
+    assert len(trees) == 3
+    assert acc > 0.8
+
+
+def test_rf_mm_and_spark_agree_roughly(rf_dataset):
+    url, labels_url, X, y = rf_dataset
+    c1 = make_cluster()
+    mm_trees = c1.run(mm_random_forest, url, labels_url, 1, 8, 2
+                      ).values[0]
+    c2 = make_cluster()
+    sp_trees, _ = c2.run_driver(spark_random_forest(
+        c2, url, labels_url, num_trees=1, max_depth=8, oob=2)).values[0]
+    mm_acc = accuracy(rf_predict(mm_trees, X), y)
+    sp_acc = accuracy(rf_predict(sp_trees, X), y)
+    assert abs(mm_acc - sp_acc) < 0.15

@@ -1,0 +1,41 @@
+"""Shared harness for DSM-level tests: a small MegaMmap deployment."""
+
+import pytest
+
+from repro.core.config import MegaMmapConfig
+from repro.core.system import MegaMmapSystem
+from repro.net import LinkSpec, Network
+from repro.sim import Monitor, Simulator
+from repro.storage import DMSH, DRAM, HDD, NVME
+from repro.storage.tiers import MB
+
+
+def build_system(n_nodes=2, dram_mb=4, nvme_mb=16, hdd_mb=64, **cfg_kwargs):
+    sim = Simulator()
+    mon = Monitor(sim)
+    net = Network(sim, n_nodes, intra=LinkSpec(bandwidth=5e9, latency=2e-5))
+    dmshs = [
+        DMSH(sim, [DRAM.with_capacity(dram_mb * MB),
+                   NVME.with_capacity(nvme_mb * MB),
+                   HDD.with_capacity(hdd_mb * MB)],
+             node_id=i, monitor=mon)
+        for i in range(n_nodes)
+    ]
+    cfg_kwargs.setdefault("page_size", 4096)
+    cfg_kwargs.setdefault("pcache_size", 64 * 1024)
+    cfg = MegaMmapConfig(**cfg_kwargs)
+    system = MegaMmapSystem(sim, net, dmshs, config=cfg, monitor=mon)
+    return sim, system
+
+
+@pytest.fixture
+def dsm():
+    """(sim, system) with 2 nodes and small pages for fast tests."""
+    return build_system()
+
+
+def run_procs(sim, *gens):
+    """Run generator apps to completion; returns their values."""
+    procs = [sim.process(g, name=f"app{i}") for i, g in enumerate(gens)]
+    from repro.sim import AllOf
+    return sim.run(until=AllOf(sim, procs))

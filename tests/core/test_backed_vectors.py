@@ -1,0 +1,144 @@
+"""Integration tests: every backend URL form served through the DSM."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datagen import POINT3D, generate_points
+from repro.core import MM_READ_ONLY, MM_WRITE_ONLY, SeqTx, VectorError
+from repro.storage.backend import BackendError
+from repro.storage.formats.hdf5sim import Hdf5SimBackend
+from repro.storage.backend import parse_url
+from tests.core.conftest import build_system, run_procs
+
+
+def read_all(system, url, dtype, rank=0, node=0):
+    client = system.client(rank=rank, node=node)
+    out = {}
+
+    def app():
+        vec = yield from client.vector(url, dtype=dtype)
+        yield from vec.tx_begin(SeqTx(0, vec.size, MM_READ_ONLY))
+        out["data"] = yield from vec.read_range(0, vec.size)
+        yield from vec.tx_end()
+
+    return app, out
+
+
+def test_wildcard_multifile_vector(tmp_path):
+    """The paper's file-per-process mapping: file:///...parquet* maps
+    several files as one uniform vector."""
+    parts = []
+    for i in range(3):
+        arr = np.arange(i * 100, i * 100 + 100, dtype=np.float32)
+        (tmp_path / f"part{i}.bin").write_bytes(arr.tobytes())
+        parts.append(arr)
+    expected = np.concatenate(parts)
+    sim, system = build_system()
+    app, out = read_all(system, f"file://{tmp_path}/part*.bin",
+                        np.float32)
+    run_procs(sim, app())
+    assert np.array_equal(out["data"], expected)
+
+
+def test_wildcard_vector_rejects_writes(tmp_path):
+    (tmp_path / "p0.bin").write_bytes(b"\0" * 4096)
+    sim, system = build_system()
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector(f"file://{tmp_path}/p*.bin",
+                                       dtype=np.uint8)
+        yield from vec.tx_begin(SeqTx(0, vec.size, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.ones(10, dtype=np.uint8))
+        yield from vec.tx_end()
+        yield from vec.persist()
+
+    with pytest.raises(BackendError, match="read-only"):
+        run_procs(sim, app())
+
+
+def test_hdf5_group_vector(tmp_path):
+    """hdf5:///path:group addresses one group of a container."""
+    path = tmp_path / "snap.h5"
+    be = Hdf5SimBackend(parse_url(f"hdf5://{path}:a"), create=True)
+    a = np.arange(500, dtype=np.float64)
+    b = np.arange(300, dtype=np.int32)
+    be.write_group("a", a)
+    be.write_group("b", b)
+    sim, system = build_system()
+    app_a, out_a = read_all(system, f"hdf5://{path}:a", np.float64)
+    run_procs(sim, app_a())
+    assert np.array_equal(out_a["data"], a)
+    app_b, out_b = read_all(system, f"hdf5://{path}:b", np.int32)
+    run_procs(sim, app_b())
+    assert np.array_equal(out_b["data"], b)
+
+
+def test_parquet_structured_records_vector(tmp_path):
+    from repro.apps.datagen import write_parquet_points
+    path = tmp_path / "pts.parquet"
+    write_parquet_points(str(path), 777, 3, seed=5)
+    pts, _ = generate_points(777, 3, seed=5)
+    sim, system = build_system()
+    app, out = read_all(system, f"parquet://{path}", POINT3D)
+    run_procs(sim, app())
+    assert np.array_equal(out["data"], pts)
+
+
+def test_writeback_through_hdf5_group(tmp_path):
+    """Nonvolatile DSM writes persist into the hdf5sim group."""
+    path = tmp_path / "out.h5"
+    sim, system = build_system()
+    client = system.client(rank=0, node=0)
+    data = np.linspace(0, 1, 1000)
+
+    def app():
+        vec = yield from client.vector(f"hdf5://{path}:result",
+                                       dtype=np.float64, size=1000)
+        yield from vec.tx_begin(SeqTx(0, 1000, MM_WRITE_ONLY))
+        yield from vec.write_range(0, data)
+        yield from vec.tx_end()
+        yield from vec.persist()
+
+    run_procs(sim, app())
+    be = Hdf5SimBackend(parse_url(f"hdf5://{path}:result"))
+    got = np.frombuffer(be.read_range(0, 8000), dtype=np.float64)
+    assert np.array_equal(got, data)
+
+
+def test_vector_key_without_url_is_volatile(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("plain-key", dtype=np.int32,
+                                       size=10)
+        return vec.shared.volatile
+
+    (volatile,) = run_procs(sim, app())
+    assert volatile
+
+
+def test_vector_url_key_is_nonvolatile(tmp_path, dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector(f"posix://{tmp_path}/x.bin",
+                                       dtype=np.int32, size=10)
+        return vec.shared.volatile
+
+    (volatile,) = run_procs(sim, app())
+    assert not volatile
+
+
+def test_unknown_scheme_url_fails_cleanly(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        yield from client.vector("s3://bucket/pts", dtype=np.int32,
+                                 size=10)
+
+    with pytest.raises(BackendError, match="unknown scheme"):
+        run_procs(sim, app())

@@ -1,0 +1,99 @@
+"""Tests for the Collective access mode (paper III-C / Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MM_COLLECTIVE, MM_READ_ONLY, MM_WRITE_ONLY, SeqTx
+
+from tests.core.conftest import build_system, run_procs
+
+N = 4096  # one int8 page per... with 4096B pages: 4 pages of int32
+
+
+def _prepare(system, client):
+    def writer():
+        vec = yield from client.vector("shared", dtype=np.int32,
+                                       size=N)
+        yield from vec.tx_begin(SeqTx(0, N, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.arange(N, dtype=np.int32))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+
+    return writer
+
+
+def _reader(client, flags, gate):
+    def reader():
+        vec = yield from client.vector("shared", dtype=np.int32, size=N)
+        yield gate
+        yield from vec.tx_begin(SeqTx(0, N, flags))
+        total = 0
+        while True:
+            chunk = yield from vec.next_chunk()
+            if chunk is None:
+                break
+            total += int(chunk.data.astype(np.int64).sum())
+        yield from vec.tx_end()
+        return total
+
+    return reader
+
+
+@pytest.mark.parametrize("collective", [True, False])
+def test_collective_reads_are_correct(collective):
+    sim, system = build_system(n_nodes=2)
+    c0 = system.client(rank=0, node=0)
+    run_procs(sim, _prepare(system, c0)())
+    flags = MM_READ_ONLY | MM_COLLECTIVE if collective else MM_READ_ONLY
+    gate = sim.event()
+    gate.succeed()
+    readers = [_reader(system.client(r, r % 2), flags, gate)()
+               for r in range(4)]
+    results = run_procs(sim, *readers)
+    expected = N * (N - 1) // 2
+    assert results == [expected] * 4
+
+
+def test_collective_dedupes_scache_fetches():
+    sim, system = build_system(n_nodes=2, prefetch_enabled=False)
+    c0 = system.client(rank=0, node=0)
+    run_procs(sim, _prepare(system, c0)())
+    before = system.monitor.counter("scache.reads")
+    gate = sim.event()
+    gate.succeed()
+    readers = [
+        _reader(system.client(r, r % 2),
+                MM_READ_ONLY | MM_COLLECTIVE, gate)()
+        for r in range(4)
+    ]
+    run_procs(sim, *readers)
+    scache_reads = system.monitor.counter("scache.reads") - before
+    forwards = system.monitor.counter("collective.forwards")
+    n_pages = 4  # 4096 int32 / 4096-byte pages
+    # Concurrent faulting ranks share one scache fetch per page...
+    assert scache_reads < 4 * n_pages
+    # ...and the rest arrive by tree forwarding.
+    assert forwards > 0
+
+
+def test_collective_root_failure_propagates():
+    sim, system = build_system(n_nodes=2)
+    c0 = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from c0.vector("v", dtype=np.int32, size=N)
+        yield from vec.tx_begin(SeqTx(0, N, MM_READ_ONLY | MM_COLLECTIVE))
+
+        def bad_submit():
+            raise RuntimeError("fetch failed")
+            yield  # pragma: no cover
+
+        try:
+            yield from system.collective_read(vec.shared, 0, (0, 4096),
+                                              0, bad_submit)
+        except RuntimeError as exc:
+            return str(exc)
+
+    (msg,) = run_procs(sim, app())
+    assert msg == "fetch failed"
+    assert not system._collective  # no leaked in-flight entry

@@ -1,0 +1,511 @@
+"""Integration tests: the full DSM data path on real data."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MM_APPEND_ONLY,
+    MM_LOCAL,
+    MM_READ_ONLY,
+    MM_READ_WRITE,
+    MM_WRITE_ONLY,
+    RandTx,
+    SeqTx,
+    TransactionError,
+    VectorError,
+)
+from repro.core.coherence import CoherencePolicy
+
+from tests.core.conftest import build_system, run_procs
+
+
+def test_volatile_vector_write_then_read_same_process(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+    data = np.arange(1000, dtype=np.float64)
+
+    def app():
+        vec = yield from client.vector("scratch", dtype=np.float64,
+                                       size=1000)
+        tx = yield from vec.tx_begin(SeqTx(0, 1000, MM_WRITE_ONLY))
+        yield from vec.write_range(0, data)
+        yield from vec.tx_end()
+        tx = yield from vec.tx_begin(SeqTx(0, 1000, MM_READ_ONLY))
+        out = yield from vec.read_range(0, 1000)
+        yield from vec.tx_end()
+        return out
+
+    (out,) = run_procs(sim, app())
+    assert np.array_equal(out, data)
+
+
+def test_cross_process_visibility_after_flush(dsm):
+    sim, system = dsm
+    c0 = system.client(rank=0, node=0)
+    c1 = system.client(rank=1, node=1)
+    data = np.arange(500, dtype=np.int32)
+    written = sim.event()
+
+    def writer():
+        vec = yield from c0.vector("shared", dtype=np.int32, size=500)
+        tx = yield from vec.tx_begin(SeqTx(0, 500, MM_WRITE_ONLY))
+        yield from vec.write_range(0, data)
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        written.succeed()
+
+    def reader():
+        vec = yield from c1.vector("shared", dtype=np.int32, size=500)
+        yield written
+        tx = yield from vec.tx_begin(SeqTx(0, 500, MM_READ_ONLY))
+        out = yield from vec.read_range(0, 500)
+        yield from vec.tx_end()
+        return out
+
+    _, out = run_procs(sim, writer(), reader())
+    assert np.array_equal(out, data)
+
+
+def test_chunk_iteration_covers_whole_region(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+    n = 3000  # several pages of int32 (4096 B pages -> 1024 elems)
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int32, size=n)
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+        while True:
+            chunk = yield from vec.next_chunk()
+            if chunk is None:
+                break
+            chunk.data[:] = np.arange(chunk.start,
+                                      chunk.start + len(chunk))
+        yield from vec.tx_end()
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_READ_ONLY))
+        seen = []
+        while True:
+            chunk = yield from vec.next_chunk()
+            if chunk is None:
+                break
+            seen.append(chunk.data.copy())
+        yield from vec.tx_end()
+        return np.concatenate(seen)
+
+    (out,) = run_procs(sim, app())
+    assert np.array_equal(out, np.arange(n, dtype=np.int32))
+
+
+def test_pcache_bound_forces_eviction(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+    # 64 KB budget, 4 KB pages -> at most 16 frames resident.
+    n = 32 * 1024  # 128 KB of int32 = 32 pages
+
+    def app():
+        vec = yield from client.vector("big", dtype=np.int32, size=n)
+        vec.bound_memory(8 * 4096)
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+        while True:
+            chunk = yield from vec.next_chunk()
+            if chunk is None:
+                break
+            chunk.data[:] = chunk.start
+        yield from vec.tx_end()
+        return len(vec.frames)
+
+    (resident,) = run_procs(sim, app())
+    assert resident <= 8
+    assert system.monitor.counter("pcache.evictions_dirty") > 0
+
+
+def test_evicted_data_survives_roundtrip(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+    n = 16 * 1024
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, 1 << 30, size=n).astype(np.int64)
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int64, size=n)
+        vec.bound_memory(4 * 4096)
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+        yield from vec.write_range(0, data)
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_READ_ONLY))
+        out = yield from vec.read_range(0, n)
+        yield from vec.tx_end()
+        return out
+
+    (out,) = run_procs(sim, app())
+    assert np.array_equal(out, data)
+
+
+def test_nonvolatile_vector_maps_existing_file(tmp_path):
+    sim, system = build_system()
+    # Prepare a real backing file.
+    data = np.arange(2048, dtype=np.float32)
+    path = tmp_path / "pts.bin"
+    path.write_bytes(data.tobytes())
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector(f"posix://{path}", dtype=np.float32)
+        assert vec.size == 2048  # size inferred from the backing object
+        tx = yield from vec.tx_begin(SeqTx(0, 2048, MM_READ_ONLY))
+        out = yield from vec.read_range(0, 2048)
+        yield from vec.tx_end()
+        return out
+
+    (out,) = run_procs(sim, app())
+    assert np.array_equal(out, data)
+
+
+def test_persist_writes_real_backend_file(tmp_path):
+    sim, system = build_system()
+    client = system.client(rank=0, node=0)
+    data = np.linspace(0, 1, 4096, dtype=np.float64)
+    url = f"posix://{tmp_path}/out.bin"
+
+    def app():
+        vec = yield from client.vector(url, dtype=np.float64, size=4096)
+        tx = yield from vec.tx_begin(SeqTx(0, 4096, MM_WRITE_ONLY))
+        yield from vec.write_range(0, data)
+        yield from vec.tx_end()
+        yield from vec.persist()
+
+    run_procs(sim, app())
+    on_disk = np.fromfile(tmp_path / "out.bin", dtype=np.float64)
+    assert np.array_equal(on_disk, data)
+
+
+def test_read_only_replication_and_phase_change(dsm):
+    sim, system = dsm
+    c0 = system.client(rank=0, node=0)
+    c1 = system.client(rank=1, node=1)
+    ready = sim.event()
+    done_reading = sim.event()
+
+    def writer():
+        vec = yield from c0.vector("v", dtype=np.int32, size=2048)
+        tx = yield from vec.tx_begin(SeqTx(0, 2048, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.arange(2048, dtype=np.int32))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        ready.succeed()
+        yield done_reading
+        # Phase change back to writing must invalidate replicas.
+        tx = yield from vec.tx_begin(SeqTx(0, 2048, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.zeros(2048, dtype=np.int32))
+        yield from vec.tx_end()
+        return vec.shared.replicated_pages
+
+    def reader():
+        vec = yield from c1.vector("v", dtype=np.int32, size=2048)
+        yield ready
+        tx = yield from vec.tx_begin(SeqTx(0, 2048, MM_READ_ONLY))
+        out = yield from vec.read_range(0, 2048)
+        yield from vec.tx_end()
+        replicated = len(vec.shared.replicated_pages)
+        done_reading.succeed()
+        return out, replicated
+
+    replicated_after, (out, replicated_during) = run_procs(
+        sim, writer(), reader())
+    assert np.array_equal(out, np.arange(2048, dtype=np.int32))
+    assert replicated_during > 0       # replicas were created
+    assert len(replicated_after) == 0  # and invalidated on phase change
+
+
+def test_append_only_vector(dsm):
+    sim, system = dsm
+    c0 = system.client(rank=0, node=0)
+    c1 = system.client(rank=1, node=1)
+
+    def appender(client, value, count):
+        vec = yield from client.vector("log", dtype=np.int32, size=0)
+        tx = yield from vec.tx_begin(SeqTx(0, 0, MM_APPEND_ONLY))
+        start = yield from vec.append(
+            np.full(count, value, dtype=np.int32))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        return start
+
+    s0, s1 = run_procs(sim, appender(c0, 7, 100), appender(c1, 9, 50))
+    # Disjoint regions allocated atomically.
+    assert {s0, s1} == {0, 100} or (s0, s1) == (50, 0) or \
+        sorted([(s0, 100), (s1, 50)]) is not None
+    ranges = sorted([(s0, s0 + 100), (s1, s1 + 50)])
+    assert ranges[0][1] <= ranges[1][0]  # no overlap
+    vec_meta = system.vectors["log"]
+    assert vec_meta.length == 150
+
+
+def test_strong_consistency_single_page_rw_global(dsm):
+    """Concurrent writers to the same page serialize through one
+    worker: the final state is one of the two writes, bit-exact, and a
+    read after both sees it."""
+    sim, system = dsm
+    c0 = system.client(rank=0, node=0)
+    c1 = system.client(rank=1, node=1)
+
+    def writer(client, value):
+        vec = yield from client.vector("kv", dtype=np.int64, size=512)
+        tx = yield from vec.tx_begin(SeqTx(0, 512, MM_READ_WRITE))
+        yield from vec.write_range(0, np.full(512, value, dtype=np.int64))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+
+    def reader(client):
+        vec = yield from client.vector("kv", dtype=np.int64, size=512)
+        tx = yield from vec.tx_begin(SeqTx(0, 512, MM_READ_ONLY))
+        out = yield from vec.read_range(0, 512)
+        yield from vec.tx_end()
+        return out
+
+    run_procs(sim, writer(c0, 111), writer(c1, 222))
+    (out,) = run_procs(sim, reader(c0))
+    assert set(np.unique(out)) <= {111, 222}
+
+
+def test_partial_write_fragments_do_not_conflict(dsm):
+    """Two processes modifying different halves of the SAME page: only
+    modified bytes ship, so neither clobbers the other (paper III-C,
+    Read/Write Local)."""
+    sim, system = dsm
+    c0 = system.client(rank=0, node=0)
+    c1 = system.client(rank=1, node=1)
+    # One 4096-byte page of 512 int64 elements.
+
+    def writer(client, lo, hi, value):
+        vec = yield from client.vector("pg", dtype=np.int64, size=512)
+        tx = yield from vec.tx_begin(
+            SeqTx(lo, hi - lo, MM_READ_WRITE | MM_LOCAL))
+        yield from vec.write_range(
+            lo, np.full(hi - lo, value, dtype=np.int64))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+
+    run_procs(sim, writer(c0, 0, 256, 5), writer(c1, 256, 512, 9))
+
+    def reader():
+        vec = yield from c0.vector("pg", dtype=np.int64, size=512)
+        tx = yield from vec.tx_begin(SeqTx(0, 512, MM_READ_ONLY))
+        out = yield from vec.read_range(0, 512)
+        yield from vec.tx_end()
+        return out
+
+    (out,) = run_procs(sim, reader())
+    assert np.all(out[:256] == 5)
+    assert np.all(out[256:] == 9)
+
+
+def test_rand_tx_roundtrip(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+    n = 8192
+
+    def app():
+        vec = yield from client.vector("r", dtype=np.int32, size=n)
+        vec.bound_memory(4 * 4096)
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.arange(n, dtype=np.int32))
+        yield from vec.tx_end()
+        tx = yield from vec.tx_begin(RandTx(0, n, seed=5,
+                                            flags=MM_READ_ONLY))
+        total = 0
+        count = 0
+        while True:
+            chunk = yield from vec.next_chunk()
+            if chunk is None:
+                break
+            total += int(chunk.data.sum())
+            count += len(chunk)
+        yield from vec.tx_end()
+        return total, count
+
+    (result,) = run_procs(sim, app())
+    total, count = result
+    assert count == n
+    assert total == n * (n - 1) // 2
+
+
+def test_nested_transaction_rejected(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int32, size=100)
+        yield from vec.tx_begin(SeqTx(0, 100, MM_READ_ONLY))
+        yield from vec.tx_begin(SeqTx(0, 100, MM_READ_ONLY))
+
+    with pytest.raises(TransactionError):
+        run_procs(sim, app())
+
+
+def test_access_outside_transaction_rejected(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int32, size=100)
+        yield from vec.get(0)
+
+    with pytest.raises(TransactionError):
+        run_procs(sim, app())
+
+
+def test_write_under_read_only_rejected(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int32, size=100)
+        yield from vec.tx_begin(SeqTx(0, 100, MM_READ_ONLY))
+        yield from vec.set(0, 1)
+
+    with pytest.raises(TransactionError):
+        run_procs(sim, app())
+
+
+def test_out_of_range_access_rejected(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int32, size=100)
+        yield from vec.tx_begin(SeqTx(0, 100, MM_READ_ONLY))
+        yield from vec.read_range(90, 20)
+
+    with pytest.raises(VectorError):
+        run_procs(sim, app())
+
+
+def test_dtype_mismatch_on_attach_rejected(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        yield from client.vector("v", dtype=np.int32, size=100)
+        yield from client.vector("v", dtype=np.float64)
+
+    with pytest.raises(VectorError):
+        run_procs(sim, app())
+
+
+def test_page_size_immutable_after_creation(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        yield from client.vector("v", dtype=np.int32, size=100,
+                                 page_size=4096)
+        yield from client.vector("v", dtype=np.int32, page_size=8192)
+
+    with pytest.raises(VectorError):
+        run_procs(sim, app())
+
+
+def test_element_get_set(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.float64, size=100)
+        tx = yield from vec.tx_begin(SeqTx(0, 100, MM_READ_WRITE))
+        yield from vec.set(42, 3.25)
+        val = yield from vec.get(42)
+        yield from vec.tx_end()
+        return float(val)
+
+    (val,) = run_procs(sim, app())
+    assert val == 3.25
+
+
+def test_destroy_releases_scache(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int32, size=4096)
+        tx = yield from vec.tx_begin(SeqTx(0, 4096, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.ones(4096, dtype=np.int32))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        yield from vec.destroy()
+
+    run_procs(sim, app())
+    assert "v" not in system.vectors
+    used = sum(dev.used for dmsh in system.dmshs for dev in dmsh)
+    assert used == 0
+
+
+def test_prefetcher_issues_readahead(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+    n = 16 * 1024
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int32, size=n)
+        vec.bound_memory(8 * 4096)
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.arange(n, dtype=np.int32))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_READ_ONLY))
+        while True:
+            chunk = yield from vec.next_chunk()
+            if chunk is None:
+                break
+        yield from vec.tx_end()
+
+    run_procs(sim, app())
+    assert system.monitor.counter("pcache.prefetches") > 0
+
+
+def test_prefetch_disabled_ablation():
+    sim, system = build_system(prefetch_enabled=False)
+    client = system.client(rank=0, node=0)
+    n = 8 * 1024
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int32, size=n)
+        vec.bound_memory(4 * 4096)
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_READ_ONLY))
+        while True:
+            chunk = yield from vec.next_chunk()
+            if chunk is None:
+                break
+        yield from vec.tx_end()
+
+    run_procs(sim, app())
+    assert system.monitor.counter("pcache.prefetches") == 0
+    assert system.monitor.counter("pcache.faults") > 0
+
+
+def test_scache_spills_to_nvme_when_dram_small():
+    sim, system = build_system(dram_mb=1, nvme_mb=32)
+    client = system.client(rank=0, node=0)
+    n = 512 * 1024  # 2 MB of int32 > 1 MB DRAM
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int32, size=n)
+        vec.bound_memory(16 * 4096)
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.arange(n, dtype=np.int32))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        tx = yield from vec.tx_begin(SeqTx(0, n, MM_READ_ONLY))
+        out_sum = 0
+        while True:
+            chunk = yield from vec.next_chunk()
+            if chunk is None:
+                break
+            out_sum += int(chunk.data.astype(np.int64).sum())
+        yield from vec.tx_end()
+        return out_sum
+
+    (total,) = run_procs(sim, app())
+    assert total == n * (n - 1) // 2
+    nvme_used = sum(d.tier("nvme").used for d in system.dmshs)
+    assert nvme_used > 0  # overflow really landed on NVMe

@@ -1,0 +1,186 @@
+"""Property-based DSM tests: random op sequences vs a NumPy oracle.
+
+Hypothesis drives random mixes of writes, reads, appends, flushes,
+evictions, and phase changes through the full DSM stack (pcache ->
+runtime -> scache -> tiers -> backend) on multiple clients, checking
+every read against a plain array model. This is the strongest
+statement of the reproduction's "functionally real" property.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MM_READ_ONLY,
+    MM_READ_WRITE,
+    MM_WRITE_ONLY,
+    SeqTx,
+)
+from tests.core.conftest import build_system, run_procs
+
+N = 2048  # elements per vector (int32; 4096-byte pages -> 2 pages)
+
+
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 1),
+                  st.integers(0, N - 1), st.integers(1, 300),
+                  st.integers(0, 1 << 20)),
+        st.tuples(st.just("read"), st.integers(0, 1),
+                  st.integers(0, N - 1), st.integers(1, 300)),
+        st.tuples(st.just("flush"), st.integers(0, 1)),
+        st.tuples(st.just("evict_all"), st.integers(0, 1)),
+    ),
+    min_size=1, max_size=12,
+)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=op_strategy)
+def test_single_client_matches_numpy_model(ops):
+    sim, system = build_system(n_nodes=2, dram_mb=1, nvme_mb=8)
+    client = system.client(rank=0, node=0)
+    model = np.zeros(N, dtype=np.int32)
+    mismatches = []
+
+    def app():
+        vec = yield from client.vector("v", dtype=np.int32, size=N)
+        vec.bound_memory(2 * 4096)
+        yield from vec.tx_begin(SeqTx(0, N, MM_READ_WRITE))
+        for op in ops:
+            kind = op[0]
+            if kind == "write":
+                _, _, off, count, value = op
+                count = min(count, N - off)
+                data = np.full(count, value, dtype=np.int32)
+                yield from vec.write_range(off, data)
+                model[off:off + count] = data
+            elif kind == "read":
+                _, _, off, count = op
+                count = min(count, N - off)
+                got = yield from vec.read_range(off, count)
+                if not np.array_equal(got, model[off:off + count]):
+                    mismatches.append((op, got.copy()))
+            elif kind == "flush":
+                yield from vec.flush(wait=True)
+            elif kind == "evict_all":
+                for page in list(vec.frames):
+                    yield from vec.evict_page(page)
+        yield from vec.tx_end()
+        # Final full verification after draining everything.
+        yield from vec.flush(wait=True)
+        got = yield from vec.read_range(0, N)
+        if not np.array_equal(got, model):
+            mismatches.append(("final", got.copy()))
+
+    run_procs(sim, app())
+    assert not mismatches, mismatches[0]
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=op_strategy, data=st.data())
+def test_two_clients_disjoint_halves_match_model(ops, data):
+    """Two clients own disjoint halves (Read/Write Local-style); after
+    a flush+barrier, a third observer must see both halves exactly."""
+    sim, system = build_system(n_nodes=2, dram_mb=2, nvme_mb=8)
+    half = N // 2
+    model = np.zeros(N, dtype=np.int32)
+    done = [sim.event(), sim.event()]
+
+    def writer(rank):
+        client = system.client(rank=rank, node=rank % 2)
+
+        def app():
+            vec = yield from client.vector("v", dtype=np.int32, size=N)
+            vec.bound_memory(2 * 4096)
+            lo = rank * half
+            yield from vec.tx_begin(SeqTx(lo, half, MM_READ_WRITE))
+            for op in ops:
+                if op[0] != "write" or op[1] != rank:
+                    continue
+                _, _, off, count, value = op
+                off = lo + off % half
+                count = min(count, lo + half - off)
+                arr = np.full(count, value + rank, dtype=np.int32)
+                yield from vec.write_range(off, arr)
+                model[off:off + count] = arr
+            yield from vec.tx_end()
+            yield from vec.flush(wait=True)
+            done[rank].succeed()
+
+        return app
+
+    def observer():
+        client = system.client(rank=2, node=0)
+        vec = yield from client.vector("v", dtype=np.int32, size=N)
+        yield done[0]
+        yield done[1]
+        yield from vec.tx_begin(SeqTx(0, N, MM_READ_ONLY))
+        got = yield from vec.read_range(0, N)
+        yield from vec.tx_end()
+        return got
+
+    _, _, got = run_procs(sim, writer(0)(), writer(1)(), observer())
+    assert np.array_equal(got, model)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(chunks=st.lists(st.integers(1, 200), min_size=1, max_size=8),
+       seed=st.integers(0, 1 << 16))
+def test_append_then_scan_roundtrip(chunks, seed):
+    sim, system = build_system(n_nodes=2)
+    client = system.client(rank=0, node=0)
+    rng = np.random.default_rng(seed)
+    arrays = [rng.integers(0, 1 << 30, size=c).astype(np.int64)
+              for c in chunks]
+
+    def app():
+        vec = yield from client.vector("log", dtype=np.int64, size=0)
+        yield from vec.tx_begin(SeqTx(0, 0, MM_READ_WRITE))
+        offsets = []
+        for arr in arrays:
+            off = yield from vec.append(arr)
+            offsets.append(off)
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        yield from vec.tx_begin(SeqTx(0, vec.size, MM_READ_ONLY))
+        out = yield from vec.read_range(0, vec.size)
+        yield from vec.tx_end()
+        return offsets, out
+
+    ((offsets, out),) = run_procs(sim, app())
+    assert len(out) == sum(chunks)
+    for off, arr in zip(offsets, arrays):
+        assert np.array_equal(out[off:off + len(arr)], arr)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(1, 3000), page_kb=st.sampled_from([4, 8, 16]),
+       seed=st.integers(0, 99))
+def test_persist_roundtrip_any_geometry(n, page_kb, seed, tmp_path_factory):
+    """Vectors of arbitrary length/page-size persist bit-exactly,
+    including the partial final page."""
+    base = tmp_path_factory.mktemp("geom")
+    sim, system = build_system(page_size=page_kb * 1024)
+    client = system.client(rank=0, node=0)
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=n)
+    url = f"posix://{base}/v_{n}_{page_kb}_{seed}.bin"
+
+    def app():
+        vec = yield from client.vector(url, dtype=np.float64, size=n)
+        yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+        yield from vec.write_range(0, data)
+        yield from vec.tx_end()
+        yield from vec.persist()
+
+    run_procs(sim, app())
+    on_disk = np.fromfile(url.replace("posix://", ""), dtype=np.float64)
+    assert len(on_disk) == n
+    assert np.array_equal(on_disk, data)

@@ -1,0 +1,129 @@
+"""Unit + property tests for the dirty-interval algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import IntervalSet
+
+
+def test_add_disjoint_keeps_sorted():
+    s = IntervalSet()
+    s.add(10, 20)
+    s.add(0, 5)
+    s.add(30, 40)
+    assert list(s) == [(0, 5), (10, 20), (30, 40)]
+
+
+def test_add_merges_overlap():
+    s = IntervalSet([(0, 10), (20, 30)])
+    s.add(5, 25)
+    assert list(s) == [(0, 30)]
+
+
+def test_add_merges_adjacent():
+    s = IntervalSet([(0, 10)])
+    s.add(10, 20)
+    assert list(s) == [(0, 20)]
+
+
+def test_add_empty_interval_noop():
+    s = IntervalSet()
+    s.add(5, 5)
+    assert not s
+
+
+def test_add_reversed_rejected():
+    with pytest.raises(ValueError):
+        IntervalSet([(5, 3)])
+
+
+def test_remove_splits():
+    s = IntervalSet([(0, 10)])
+    s.remove(3, 7)
+    assert list(s) == [(0, 3), (7, 10)]
+
+
+def test_remove_covers_entirely():
+    s = IntervalSet([(2, 4), (6, 8)])
+    s.remove(0, 10)
+    assert not s
+
+
+def test_contains_point():
+    s = IntervalSet([(5, 10)])
+    assert 5 in s
+    assert 9 in s
+    assert 10 not in s
+    assert 4 not in s
+
+
+def test_total_and_span():
+    s = IntervalSet([(0, 5), (10, 12)])
+    assert s.total == 7
+    assert s.span == (0, 12)
+    assert IntervalSet().span == (0, 0)
+
+
+def test_overlaps():
+    s = IntervalSet([(5, 10)])
+    assert s.overlaps(0, 6)
+    assert s.overlaps(9, 20)
+    assert not s.overlaps(0, 5)
+    assert not s.overlaps(10, 20)
+
+
+def test_intersect_clips():
+    s = IntervalSet([(0, 10), (20, 30)])
+    assert list(s.intersect(5, 25)) == [(5, 10), (20, 25)]
+
+
+def test_copy_is_independent():
+    s = IntervalSet([(0, 10)])
+    c = s.copy()
+    c.add(20, 30)
+    assert list(s) == [(0, 10)]
+
+
+def test_equality():
+    assert IntervalSet([(0, 5)]) == IntervalSet([(0, 3), (3, 5)])
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 100)),
+                max_size=20))
+def test_matches_set_model(ops):
+    """IntervalSet must agree with a brute-force set-of-points model."""
+    s = IntervalSet()
+    model = set()
+    for a, b in ops:
+        lo, hi = min(a, b), max(a, b)
+        s.add(lo, hi)
+        model |= set(range(lo, hi))
+    assert s.total == len(model)
+    for p in range(101):
+        assert (p in s) == (p in model)
+    # Intervals must be disjoint, sorted, non-empty.
+    ivs = list(s)
+    for (s0, e0), (s1, e1) in zip(ivs, ivs[1:]):
+        assert e0 < s1
+    assert all(e > s0 for s0, e in ivs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 60),
+                          st.integers(0, 60)), max_size=25))
+def test_add_remove_matches_set_model(ops):
+    s = IntervalSet()
+    model = set()
+    for is_add, a, b in ops:
+        lo, hi = min(a, b), max(a, b)
+        if is_add:
+            s.add(lo, hi)
+            model |= set(range(lo, hi))
+        else:
+            s.remove(lo, hi)
+            model -= set(range(lo, hi))
+    assert s.total == len(model)
+    for p in range(61):
+        assert (p in s) == (p in model)

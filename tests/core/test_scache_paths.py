@@ -1,0 +1,138 @@
+"""Focused scache-executor tests: task kinds, fragment semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import MM_READ_ONLY, MM_WRITE_ONLY, SeqTx
+from repro.core.errors import MegaMmapError
+from repro.core.memtask import MemoryTask, TaskKind
+from tests.core.conftest import build_system, run_procs
+
+
+def test_write_allocate_skips_stage_in(tmp_path, dsm):
+    """A whole-page write to a nonvolatile vector never reads the
+    backend (write-allocate)."""
+    sim, system = build_system()
+    client = system.client(rank=0, node=0)
+    path = tmp_path / "wa.bin"
+    path.write_bytes(b"\xff" * 8192)
+
+    def app():
+        vec = yield from client.vector(f"posix://{path}",
+                                       dtype=np.uint8)
+        yield from vec.tx_begin(SeqTx(0, 4096, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.zeros(4096, dtype=np.uint8))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        return system.monitor.counter("stager.bytes_in")
+
+    (staged_in,) = run_procs(sim, app())
+    assert staged_in == 0
+
+
+def test_partial_write_to_cold_page_stages_in_first(tmp_path):
+    """A fragment write to a nonvolatile page must preserve the
+    backend bytes it does not touch."""
+    sim, system = build_system()
+    client = system.client(rank=0, node=0)
+    path = tmp_path / "frag.bin"
+    path.write_bytes(bytes(range(256)) * 16)  # 4096 bytes
+
+    def app():
+        vec = yield from client.vector(f"posix://{path}",
+                                       dtype=np.uint8)
+        yield from vec.tx_begin(SeqTx(0, 4096, MM_READ_ONLY
+                                      | MM_WRITE_ONLY))
+        yield from vec.set(100, 0xAB)
+        yield from vec.tx_end()
+        yield from vec.persist()
+
+    run_procs(sim, app())
+    data = path.read_bytes()
+    assert data[100] == 0xAB
+    assert data[99] == 99 and data[101] == 101  # untouched bytes kept
+
+
+def test_multiple_fragments_in_one_task(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("m", dtype=np.uint8, size=4096)
+        t = MemoryTask(kind=TaskKind.WRITE, vector_name="m",
+                       page_idx=0, client_node=0,
+                       fragments=[(0, b"AA"), (100, b"BB"),
+                                  (4094, b"CC")])
+        yield from client.submit(t, wait=True)
+        r = MemoryTask(kind=TaskKind.READ, vector_name="m",
+                       page_idx=0, client_node=0, region=None)
+        raw = yield from client.submit(r, wait=True)
+        return raw
+
+    (raw,) = run_procs(sim, app())
+    assert raw[:2] == b"AA"
+    assert raw[100:102] == b"BB"
+    assert raw[4094:] == b"CC"
+    assert raw[2:100] == bytes(98)
+
+
+def test_flush_task_kind_persists_one_page(tmp_path):
+    sim, system = build_system()
+    client = system.client(rank=0, node=0)
+    url = f"posix://{tmp_path}/one.bin"
+
+    def app():
+        vec = yield from client.vector(url, dtype=np.uint8, size=8192)
+        yield from vec.tx_begin(SeqTx(0, 8192, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.ones(8192, dtype=np.uint8))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        t = MemoryTask(kind=TaskKind.FLUSH, vector_name=url,
+                       page_idx=0, client_node=0)
+        yield from client.submit(t, wait=True)
+        return sorted(vec.shared.dirty_pages)
+
+    (dirty,) = run_procs(sim, app())
+    assert 0 not in dirty          # page 0 staged out
+    assert 1 in dirty              # page 1 still pending
+    on_disk = np.fromfile(tmp_path / "one.bin", dtype=np.uint8)
+    assert np.all(on_disk[:4096] == 1)
+
+
+def test_task_for_destroyed_vector_fails(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        t = MemoryTask(kind=TaskKind.READ, vector_name="ghost",
+                       page_idx=0, client_node=0, region=(0, 10))
+        system.vectors  # no such vector registered
+        try:
+            # submit() needs the vector for routing; call the executor
+            # directly, as a runtime worker would.
+            yield from system.runtimes[0].executor.execute(t)
+        except MegaMmapError as exc:
+            return "unknown" in str(exc)
+
+    (ok,) = run_procs(sim, app())
+    assert ok
+
+
+def test_delete_task_is_idempotent(dsm):
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("d", dtype=np.uint8, size=4096)
+        yield from vec.tx_begin(SeqTx(0, 4096, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.ones(4096, dtype=np.uint8))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        for _ in range(2):  # second delete must be a no-op
+            t = MemoryTask(kind=TaskKind.DELETE, vector_name="d",
+                           page_idx=0, client_node=0)
+            yield from client.submit(t, wait=True)
+        return system.hermes.mdm.peek("d", 0)
+
+    (info,) = run_procs(sim, app())
+    assert info is None

@@ -1,0 +1,284 @@
+"""Unit tests for the Hermes-like buffering substrate."""
+
+import numpy as np
+import pytest
+
+from repro.hermes import (
+    BlobNotFound,
+    Hermes,
+    MinimizeIoTime,
+    PlacementError,
+    RoundRobin,
+    ScoreAware,
+)
+from repro.net import LinkSpec, Network
+from repro.sim import Simulator
+from repro.storage import DMSH, DeviceSpec
+
+FAST = DeviceSpec("dram", capacity=1000, read_bw=1e6, write_bw=1e6,
+                  latency=0.0, byte_addressable=True)
+MID = DeviceSpec("nvme", capacity=2000, read_bw=1e5, write_bw=1e5,
+                 latency=0.0)
+SLOW = DeviceSpec("hdd", capacity=10000, read_bw=1e4, write_bw=1e4,
+                  latency=0.0)
+
+
+def make_hermes(n_nodes=2, tiers=(FAST, MID, SLOW), policy=None):
+    sim = Simulator()
+    net = Network(sim, n_nodes, intra=LinkSpec(bandwidth=1e9, latency=0.0))
+    dmshs = [DMSH(sim, tiers, node_id=i) for i in range(n_nodes)]
+    hermes = Hermes(sim, net, dmshs, policy=policy)
+    return sim, hermes
+
+
+def run(sim, gen):
+    return sim.run(until=sim.process(gen))
+
+
+def test_put_get_roundtrip():
+    sim, h = make_hermes()
+    data = np.arange(50, dtype=np.uint8).tobytes()
+
+    def proc():
+        yield from h.put(0, "bkt", "k", data)
+        out = yield from h.get(0, "bkt", "k")
+        return out
+
+    assert run(sim, proc()) == data
+
+
+def test_put_places_in_fastest_tier_first():
+    sim, h = make_hermes()
+
+    def proc():
+        info = yield from h.put(0, "bkt", "k", b"\0" * 100)
+        return info.tier
+
+    assert run(sim, proc()) == "dram"
+
+
+def test_put_overflows_to_next_tier_when_full():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.put(0, "bkt", "a", b"\0" * 900)
+        info = yield from h.put(0, "bkt", "b", b"\0" * 500)
+        return info.tier
+
+    assert run(sim, proc()) == "nvme"
+
+
+def test_put_same_size_updates_in_place():
+    sim, h = make_hermes()
+
+    def proc():
+        i1 = yield from h.put(0, "bkt", "k", b"a" * 100)
+        i2 = yield from h.put(0, "bkt", "k", b"b" * 100)
+        out = yield from h.get(0, "bkt", "k")
+        return i1.tier, i2.tier, out
+
+    t1, t2, out = run(sim, proc())
+    assert t1 == t2 == "dram"
+    assert out == b"b" * 100
+
+
+def test_put_resize_replaces_blob():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.put(0, "bkt", "k", b"a" * 100)
+        yield from h.put(0, "bkt", "k", b"b" * 300)
+        out = yield from h.get(0, "bkt", "k")
+        return out, h.dmshs[0].tier("dram").used
+
+    out, used = run(sim, proc())
+    assert out == b"b" * 300
+    assert used == 300  # old copy freed
+
+
+def test_get_missing_blob_raises():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.get(0, "bkt", "nope")
+
+    with pytest.raises(BlobNotFound):
+        run(sim, proc())
+
+
+def test_put_partial_updates_fragment_only():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.put(0, "bkt", "k", b"\0" * 100)
+        moved_before = h.network.bytes_moved
+        yield from h.put_partial(0, "bkt", "k", 10, b"\xff" * 5)
+        frag_bytes = h.network.bytes_moved - moved_before
+        out = yield from h.get(0, "bkt", "k")
+        return frag_bytes, out
+
+    frag_bytes, out = run(sim, proc())
+    assert frag_bytes <= 5 + 2 * 256  # fragment + MDM rpc envelopes
+    assert out == b"\0" * 10 + b"\xff" * 5 + b"\0" * 85
+
+
+def test_get_partial_range():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.put(0, "bkt", "k", bytes(range(100)))
+        out = yield from h.get_partial(0, "bkt", "k", 20, 5)
+        return out
+
+    assert run(sim, proc()) == bytes([20, 21, 22, 23, 24])
+
+
+def test_target_node_placement():
+    sim, h = make_hermes()
+
+    def proc():
+        info = yield from h.put(0, "bkt", "k", b"\0" * 64, target_node=1)
+        return info.node
+
+    assert run(sim, proc()) == 1
+    assert h.dmshs[1].tier("dram").used == 64
+
+
+def test_replicate_creates_local_copy():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.put(1, "bkt", "k", b"data" * 10)
+        raw = yield from h.replicate(0, "bkt", "k")
+        info = h.mdm.peek("bkt", "k")
+        return raw, info.replicas
+
+    raw, replicas = run(sim, proc())
+    assert raw == b"data" * 10
+    assert replicas == [(0, "dram")]
+
+
+def test_replicated_get_served_locally():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.put(1, "bkt", "k", b"\0" * 100)
+        yield from h.replicate(0, "bkt", "k")
+        before = h.network.bytes_moved
+        yield from h.get(0, "bkt", "k")
+        # Only loopback + MDM envelope traffic should remain.
+        return h.network.bytes_moved - before
+
+    assert run(sim, proc()) <= 100 + 2 * 256
+
+
+def test_invalidate_replicas_keeps_primary():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.put(1, "bkt", "k", b"\0" * 100)
+        yield from h.replicate(0, "bkt", "k")
+        n = yield from h.invalidate_replicas(0, "bkt", "k")
+        out = yield from h.get(0, "bkt", "k")
+        return n, out
+
+    n, out = run(sim, proc())
+    assert n == 1
+    assert out == b"\0" * 100
+    assert h.dmshs[0].tier("dram").used == 0
+
+
+def test_move_demotes_blob_between_tiers():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.put(0, "bkt", "k", b"\0" * 100)
+        yield from h.move("bkt", "k", 0, "hdd")
+        info = h.mdm.peek("bkt", "k")
+        out = yield from h.get(0, "bkt", "k")
+        return info.tier, out
+
+    tier, out = run(sim, proc())
+    assert tier == "hdd"
+    assert out == b"\0" * 100
+    assert h.dmshs[0].tier("dram").used == 0
+
+
+def test_make_room_demotes_cold_blobs():
+    sim, h = make_hermes(tiers=(FAST, SLOW))
+
+    def proc():
+        yield from h.put(0, "bkt", "cold", b"\0" * 900, score=0.1)
+        # dram full for a 500-byte blob; cold one should demote to hdd.
+        info = yield from h.put(0, "bkt", "hot", b"\0" * 500, score=0.9)
+        cold = h.mdm.peek("bkt", "cold")
+        return info.tier, cold.tier
+
+    hot_tier, cold_tier = run(sim, proc())
+    assert hot_tier == "dram"
+    assert cold_tier == "hdd"
+
+
+def test_placement_error_when_everything_full():
+    tiny = DeviceSpec("dram", capacity=100, read_bw=1e6, write_bw=1e6,
+                      latency=0.0)
+    sim, h = make_hermes(tiers=(tiny,))
+
+    def proc():
+        yield from h.put(0, "bkt", "a", b"\0" * 90, score=0.5)
+        yield from h.put(0, "bkt", "b", b"\0" * 90, score=0.5)
+
+    with pytest.raises(PlacementError):
+        run(sim, proc())
+
+
+def test_delete_frees_all_copies():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.put(1, "bkt", "k", b"\0" * 100)
+        yield from h.replicate(0, "bkt", "k")
+        yield from h.delete(0, "bkt", "k")
+        return (h.dmshs[0].tier("dram").used,
+                h.dmshs[1].tier("dram").used)
+
+    assert run(sim, proc()) == (0, 0)
+    assert h.mdm.peek("bkt", "k") is None
+
+
+def test_score_aware_policy_maps_low_score_deep():
+    sim, h = make_hermes(policy=ScoreAware())
+
+    def proc():
+        info = yield from h.put(0, "bkt", "cold", b"\0" * 10, score=0.0)
+        return info.tier
+
+    assert run(sim, proc()) == "hdd"
+
+
+def test_round_robin_policy_spreads():
+    sim, h = make_hermes(policy=RoundRobin())
+
+    def proc():
+        tiers = []
+        for i in range(3):
+            info = yield from h.put(0, "bkt", f"k{i}", b"\0" * 10)
+            tiers.append(info.tier)
+        return tiers
+
+    assert run(sim, proc()) == ["dram", "nvme", "hdd"]
+
+
+def test_mdm_remote_lookup_charges_rpc():
+    sim, h = make_hermes()
+
+    def proc():
+        yield from h.put(0, "bkt", "k", b"\0" * 10)
+        return h.mdm.rpcs
+
+    run(sim, proc())
+    # Whether RPCs were charged depends on hash ownership; at minimum
+    # the counter is consistent with ownership.
+    owner = h.mdm.owner_of("bkt", "k")
+    if owner != 0:
+        assert h.mdm.rpcs >= 1

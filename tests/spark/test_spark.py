@@ -1,0 +1,137 @@
+"""Unit tests for the mini-Spark substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datagen import POINT3D, write_parquet_points
+from repro.spark.core import RDD, SparkOom, SparkSim
+from tests.apps.conftest import make_cluster
+
+
+def make_spark(**over):
+    cluster = make_cluster(**over)
+    return cluster, SparkSim(cluster)
+
+
+def run(cluster, gen):
+    return cluster.sim.run(until=cluster.sim.process(gen))
+
+
+def test_parallelize_and_collect():
+    cluster, spark = make_spark()
+    rdd = spark.parallelize([np.arange(4), np.arange(4, 8)])
+
+    def driver():
+        parts = yield from rdd.collect()
+        return np.concatenate(parts)
+
+    out = run(cluster, driver())
+    assert np.array_equal(out, np.arange(8))
+
+
+def test_map_partitions_materializes_new_rdd():
+    cluster, spark = make_spark()
+    rdd = spark.parallelize([np.arange(4), np.arange(4)])
+
+    def driver():
+        doubled = yield from rdd.map_partitions(lambda a: a * 2)
+        parts = yield from doubled.collect()
+        return parts
+
+    parts = run(cluster, driver())
+    assert all(np.array_equal(p, np.arange(4) * 2) for p in parts)
+
+
+def test_memory_amplification_parents_stay_resident():
+    cluster, spark = make_spark()
+    data = [np.zeros(1000, dtype=np.float64) for _ in range(2)]
+    before = sum(d.tiers[0].used for d in cluster.dmshs)
+    rdd = spark.parallelize(data)
+
+    def driver():
+        stage2 = yield from rdd.map_partitions(lambda a: a + 1)
+        return stage2
+
+    run(cluster, driver())
+    after = sum(d.tiers[0].used for d in cluster.dmshs)
+    # Two materialized copies x mem_factor (JVM overhead).
+    assert after - before == pytest.approx(2 * 16000 * spark.mem_factor)
+
+
+def test_unpersist_releases_memory():
+    cluster, spark = make_spark()
+    rdd = spark.parallelize([np.zeros(1000)])
+    used = sum(d.tiers[0].used for d in cluster.dmshs)
+    assert used > 0
+    rdd.unpersist()
+    rdd.unpersist()  # idempotent
+    assert sum(d.tiers[0].used for d in cluster.dmshs) == 0
+
+
+def test_executor_oom():
+    cluster, spark = make_spark(dram_mb=1)
+    with pytest.raises(SparkOom):
+        spark.parallelize([np.zeros(1_000_000)])  # 8 MB > 1 MB DRAM
+
+
+def test_tree_aggregate_sums_partitions():
+    cluster, spark = make_spark()
+    rdd = spark.parallelize([np.full(10, i, dtype=np.float64)
+                             for i in range(4)])
+
+    def driver():
+        total = yield from rdd.tree_aggregate(
+            lambda a: float(a.sum()), lambda x, y: x + y)
+        return total
+
+    assert run(cluster, driver()) == pytest.approx(10 * (0 + 1 + 2 + 3))
+
+
+def test_read_records_loads_real_file(tmp_path):
+    cluster, spark = make_spark()
+    path = tmp_path / "pts.parquet"
+    write_parquet_points(str(path), 1000, 2, seed=1)
+
+    def driver():
+        rdd = yield from spark.read_records(f"parquet://{path}", POINT3D)
+        parts = yield from rdd.collect()
+        return sum(len(p) for p in parts), rdd.n_partitions
+
+    n, parts = run(cluster, driver())
+    assert n == 1000
+    assert parts == spark.partitions_per_node * spark.n_nodes
+
+
+def test_broadcast_charges_tcp():
+    cluster, spark = make_spark()
+    before = cluster.network.bytes_moved
+
+    def driver():
+        yield from spark.broadcast(np.zeros(1000))
+
+    run(cluster, driver())
+    # One copy to every non-driver node.
+    assert cluster.network.bytes_moved - before >= \
+        (spark.n_nodes - 1) * 8000
+
+
+def test_tcp_is_slower_than_fabric():
+    cluster, spark = make_spark()
+    t_tcp = spark.tcp.xfer_time(10 ** 6)
+    t_fab = cluster.network.intra.xfer_time(10 ** 6)
+    assert t_tcp > t_fab
+
+
+def test_jvm_factor_scales_compute_time():
+    cluster, spark = make_spark()
+    rdd = spark.parallelize([np.zeros(100_000, dtype=np.float64)])
+
+    def driver():
+        t0 = cluster.sim.now
+        yield from rdd.map_partitions(lambda a: a, factor=4.0)
+        return cluster.sim.now - t0
+
+    elapsed = run(cluster, driver())
+    expected = spark.jvm_factor * 5.0 * 800_000 \
+        / cluster.spec.config.compute_bw
+    assert elapsed == pytest.approx(expected, rel=0.01)

@@ -1,0 +1,49 @@
+"""The CXL tier (paper III-E: 'traditional libc mmap and memcpy for
+upcoming CXL devices') slots between DRAM and NVMe in the DMSH."""
+
+import numpy as np
+import pytest
+
+from repro.core import MM_WRITE_ONLY, SeqTx
+from repro.core.config import MegaMmapConfig
+from repro.core.system import MegaMmapSystem
+from repro.net import Network
+from repro.sim import Monitor, Simulator
+from repro.storage import CXL, DMSH, DRAM, NVME
+from repro.storage.tiers import MB, scaled
+
+
+def test_cxl_orders_between_dram_and_nvme():
+    sim = Simulator()
+    dmsh = DMSH(sim, [scaled(NVME, 8 * MB), scaled(CXL, 4 * MB),
+                      scaled(DRAM, 2 * MB)])
+    assert [d.spec.kind for d in dmsh] == ["dram", "cxl", "nvme"]
+    assert CXL.byte_addressable
+    assert DRAM.perf_score() > CXL.perf_score() > NVME.perf_score()
+
+
+def test_scache_overflows_dram_into_cxl_before_nvme():
+    sim = Simulator()
+    mon = Monitor(sim)
+    net = Network(sim, 1)
+    dmsh = DMSH(sim, [scaled(DRAM, 1 * MB), scaled(CXL, 8 * MB),
+                      scaled(NVME, 64 * MB)], node_id=0, monitor=mon)
+    system = MegaMmapSystem(sim, net, [dmsh],
+                            config=MegaMmapConfig(page_size=65536,
+                                                  pcache_size=131072),
+                            monitor=mon)
+    client = system.client(rank=0, node=0)
+    n = 512 * 1024  # 2 MB int32 > 1 MB DRAM
+
+    def app():
+        vec = yield from client.vector("big", dtype=np.int32, size=n)
+        yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.arange(n, dtype=np.int32))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+
+    sim.run(until=sim.process(app(), name="app"))
+    cxl_used = dmsh.tier("cxl").used
+    nvme_used = dmsh.tier("nvme").used
+    assert cxl_used > 0          # overflow went to CXL...
+    assert nvme_used == 0        # ...never reaching NVMe

@@ -1,0 +1,181 @@
+"""Tests for the Jarvis-style pipeline runner and the CLI."""
+
+import csv
+import os
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    APP_REGISTRY,
+    PipelineError,
+    build_cluster,
+    prepare_dataset,
+    run_pipeline,
+)
+
+MINI_KMEANS = """
+name: KMeans-Mini
+cluster:
+  n_nodes: 2
+  procs_per_node: 2
+  dram_mb: 16
+  nvme_mb: 64
+  page_size: 65536
+dataset:
+  kind: points
+  n: 4000
+  k: 4
+  seed: 7
+  path: pts.parquet
+app:
+  kind: mm_kmeans
+  k: 4
+  max_iter: 2
+output: stats_dict.csv
+"""
+
+
+def test_run_pipeline_produces_stats_csv(tmp_path):
+    rows = run_pipeline(MINI_KMEANS, workdir=str(tmp_path))
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["app"] == "KMeans-Mini"
+    assert row["nprocs"] == 4
+    assert row["runtime_s"] > 0
+    assert not row["crashed"]
+    out = tmp_path / "stats_dict.csv"
+    assert out.exists()
+    with open(out) as fh:
+        parsed = list(csv.DictReader(fh))
+    assert len(parsed) == 1
+    assert float(parsed[0]["runtime_s"]) == pytest.approx(
+        row["runtime_s"])
+
+
+def test_pipeline_sweep_grid(tmp_path):
+    spec = MINI_KMEANS + """
+sweep:
+  - key: cluster.dram_mb
+    values:
+      - 16
+      - 8
+"""
+    rows = run_pipeline(spec, workdir=str(tmp_path))
+    assert len(rows) == 2
+    assert [r["cluster.dram_mb"] for r in rows] == [16, 8]
+    # The DRAM cap really changed the deployment.
+    assert rows[1]["peak_dram_node_mb"] <= 8.5
+
+
+def test_pipeline_two_axis_sweep_is_cross_product(tmp_path):
+    spec = MINI_KMEANS + """
+sweep:
+  - key: cluster.dram_mb
+    values:
+      - 16
+      - 8
+  - key: app.max_iter
+    values:
+      - 1
+      - 2
+"""
+    rows = run_pipeline(spec, workdir=str(tmp_path))
+    assert len(rows) == 4
+    combos = {(r["cluster.dram_mb"], r["app.max_iter"]) for r in rows}
+    assert combos == {(16, 1), (16, 2), (8, 1), (8, 2)}
+
+
+def test_pipeline_from_file(tmp_path):
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    rows = run_pipeline(str(path), workdir=str(tmp_path))
+    assert rows
+
+
+def test_pipeline_gray_scott(tmp_path):
+    spec = """
+name: GS-Mini
+cluster:
+  n_nodes: 2
+  procs_per_node: 2
+  dram_mb: 16
+  nvme_mb: 64
+app:
+  kind: mm_gray_scott
+  L: 16
+  steps: 2
+"""
+    rows = run_pipeline(spec, workdir=str(tmp_path))
+    assert len(rows) == 1
+    assert rows[0]["runtime_s"] > 0
+
+
+def test_pipeline_unknown_app_rejected(tmp_path):
+    with pytest.raises(PipelineError, match="unknown app"):
+        run_pipeline("app:\n  kind: nope\n", workdir=str(tmp_path))
+
+
+def test_pipeline_requires_app(tmp_path):
+    with pytest.raises(PipelineError):
+        run_pipeline("name: x\n", workdir=str(tmp_path))
+
+
+def test_build_cluster_tiers_and_config():
+    cluster = build_cluster({"n_nodes": 2, "dram_mb": 8, "nvme_mb": 16,
+                             "ssd_mb": 32, "hdd_mb": 64,
+                             "page_size": 4096})
+    kinds = [d.spec.kind for d in cluster.dmshs[0]]
+    assert kinds == ["dram", "nvme", "ssd", "hdd"]
+    assert cluster.spec.config.page_size == 4096
+
+
+def test_prepare_dataset_idempotent(tmp_path):
+    section = {"kind": "points", "n": 100, "k": 2, "seed": 1,
+               "path": "d.parquet"}
+    prepare_dataset(section, str(tmp_path))
+    first = (tmp_path / "d.parquet").read_bytes()
+    prepare_dataset(section, str(tmp_path))
+    assert (tmp_path / "d.parquet").read_bytes() == first
+
+
+def test_prepare_dataset_gadget_writes_labels(tmp_path):
+    prepare_dataset({"kind": "gadget", "n": 200, "k": 2,
+                     "path": "snap.h5"}, str(tmp_path))
+    assert (tmp_path / "snap.h5").exists()
+    labels = np.fromfile(tmp_path / "snap.h5.labels", dtype=np.int32)
+    assert len(labels) == 200
+
+
+def test_registry_covers_all_eight_artifact_apps():
+    # The AD appendix's 8 applications (2x KMeans, 2x DBSCAN, 2x RF,
+    # 2x Gray-Scott).
+    assert set(APP_REGISTRY) == {
+        "mm_kmeans", "spark_kmeans", "mm_dbscan", "mpi_dbscan",
+        "mm_random_forest", "spark_random_forest", "mm_gray_scott",
+        "mpi_gray_scott"}
+
+
+def test_cli_main(tmp_path, capsys):
+    from repro.__main__ import main
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    rc = main([str(path), "--workdir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "runtime_s" in out
+    assert "stats written" in out
+
+
+def test_repo_pipelines_parse(tmp_path):
+    """The shipped pipeline files must at least parse and reference
+    known apps."""
+    import glob
+    from repro.core.config import load_yaml_subset
+    root = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "pipelines")
+    files = glob.glob(os.path.join(root, "*.yaml"))
+    assert len(files) >= 3
+    for f in files:
+        spec = load_yaml_subset(open(f, encoding="utf-8").read())
+        assert spec["app"]["kind"] in APP_REGISTRY, f
