@@ -20,7 +20,8 @@ from repro.apps.grayscott import mm_gray_scott, mpi_gray_scott
 from repro.apps.kmeans import mm_kmeans, spark_kmeans
 from repro.apps.rf import mm_random_forest
 from repro.apps.rf.spark_rf import spark_random_forest
-from benchmarks.common import print_table, testbed, write_csv
+from benchmarks.common import export_trace, print_table, testbed, \
+    write_csv
 
 NODE_COUNTS = [1, 2, 4]
 
@@ -44,6 +45,8 @@ def run_weak_scaling(tmp_path):
         url = f"parquet://{path}"
         c = testbed(n_nodes=n)
         mm = c.run(mm_kmeans, url, 8, 4)
+        if c.tracer.enabled:  # MEGAMMAP_TRACE=1 / testbed(trace=True)
+            export_trace(c, f"fig5_kmeans_mm_{n}n")
         c2 = testbed(n_nodes=n)
         sp = c2.run_driver(spark_kmeans(c2, url, 8, 4))
         rows.append(dict(app="KMeans", nodes=n, procs=c.spec.nprocs,

@@ -35,8 +35,15 @@ NODE_HDD_MB = 1024
 def testbed(n_nodes=4, procs_per_node=2, dram_mb=NODE_DRAM_MB,
             nvme_mb=NODE_NVME_MB, ssd_mb=0, hdd_mb=0,
             page_size=64 * 1024, pcache=512 * 1024,
-            pfs_spec=None, pfs_servers=2, seed=0, **cfg) -> SimCluster:
-    """A scaled replica of the paper's cluster."""
+            pfs_spec=None, pfs_servers=2, seed=0,
+            trace=None, **cfg) -> SimCluster:
+    """A scaled replica of the paper's cluster.
+
+    ``trace=True`` enables span tracing on the cluster (see
+    :mod:`repro.sim.trace`); the default defers to the
+    ``MEGAMMAP_TRACE`` environment variable so any benchmark can be
+    rerun with tracing without editing it.
+    """
     tiers = [scaled(DRAM, dram_mb * MB)]
     if nvme_mb:
         tiers.append(scaled(NVME, nvme_mb * MB))
@@ -44,6 +51,8 @@ def testbed(n_nodes=4, procs_per_node=2, dram_mb=NODE_DRAM_MB,
         tiers.append(scaled(SATA_SSD, ssd_mb * MB))
     if hdd_mb:
         tiers.append(scaled(HDD, hdd_mb * MB))
+    if trace is None:
+        trace = os.environ.get("MEGAMMAP_TRACE", "") not in ("", "0")
     return SimCluster(
         n_nodes=n_nodes, procs_per_node=procs_per_node,
         tiers=tuple(tiers),
@@ -52,10 +61,21 @@ def testbed(n_nodes=4, procs_per_node=2, dram_mb=NODE_DRAM_MB,
         config=MegaMmapConfig(page_size=page_size, pcache_size=pcache,
                               **cfg),
         seed=seed,
+        trace=bool(trace),
     )
 
 
 testbed.__test__ = False  # a helper whose name pytest would collect
+
+
+def export_trace(cluster: SimCluster, name: str) -> str:
+    """Write a cluster's recorded spans to
+    ``benchmarks/results/<name>.trace.json`` (Chrome trace format);
+    returns the path. A no-op empty trace is written when the cluster
+    ran without tracing."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.trace.json")
+    return cluster.export_trace(path)
 
 
 def write_csv(name: str, rows: List[Dict]) -> str:

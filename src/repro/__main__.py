@@ -1,40 +1,92 @@
 """CLI: run pipeline workflow files against the simulated cluster.
 
-    python -m repro pipelines/mm_kmeans_mega.yaml [--workdir DIR]
+    python -m repro run pipelines/mm_kmeans_mega.yaml [--workdir DIR]
+    python -m repro trace pipelines/mm_kmeans_mega.yaml [--out T.json]
 
-Mirrors the artifact's ``jarvis ppl run yaml /path/to/workflow.yaml``.
+Mirrors the artifact's ``jarvis ppl run yaml /path/to/workflow.yaml``;
+the ``trace`` subcommand additionally records latency spans and writes
+a Chrome-trace-format JSON timeline (load in ``chrome://tracing`` or
+Perfetto). The bare form ``python -m repro <file.yaml>`` is kept as an
+alias for ``run``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import tempfile
 
 from repro.pipeline import run_pipeline
 
+_SUBCOMMANDS = ("run", "trace")
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Run a MegaMmap workflow pipeline (Jarvis-style).")
-    parser.add_argument("pipeline", help="path to a workflow YAML file")
-    parser.add_argument("--workdir", default=None,
-                        help="directory for datasets + stats_dict.csv "
-                             "(default: a fresh temp directory)")
-    args = parser.parse_args(argv)
-    workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-ppl-")
-    rows = run_pipeline(args.pipeline, workdir=workdir)
-    if not rows:
-        print("pipeline produced no rows", file=sys.stderr)
-        return 1
+
+def _print_rows(rows) -> None:
     cols = list(rows[0])
     print("  ".join(cols))
     for row in rows:
         print("  ".join(
             f"{row[c]:.4f}" if isinstance(row[c], float) else str(row[c])
             for c in cols))
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: `python -m repro file.yaml` means `run file.yaml`.
+    if argv and argv[0] not in _SUBCOMMANDS \
+            and argv[0] not in ("-h", "--help"):
+        argv.insert(0, "run")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a MegaMmap workflow pipeline (Jarvis-style).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run", help="execute a pipeline and print its stats rows")
+    p_run.add_argument("pipeline", help="path to a workflow YAML file")
+    p_run.add_argument("--workdir", default=None,
+                       help="directory for datasets + stats_dict.csv "
+                            "(default: a fresh temp directory)")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="execute a pipeline with span tracing enabled and write "
+             "a Chrome-trace-format JSON timeline")
+    p_trace.add_argument("pipeline", help="path to a workflow YAML file")
+    p_trace.add_argument("--workdir", default=None,
+                         help="directory for datasets + stats (default: "
+                              "a fresh temp directory)")
+    p_trace.add_argument("--out", default=None,
+                         help="trace JSON path (default: "
+                              "<workdir>/trace.json)")
+
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.pipeline):
+        print(f"error: pipeline file not found: {args.pipeline}",
+              file=sys.stderr)
+        return 2
+    workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-ppl-")
+    trace_path = None
+    if args.command == "trace":
+        trace_path = args.out or os.path.join(workdir, "trace.json")
+        out_dir = os.path.dirname(os.path.abspath(trace_path))
+        os.makedirs(out_dir, exist_ok=True)
+    rows = run_pipeline(args.pipeline, workdir=workdir,
+                        trace_path=trace_path)
+    if not rows:
+        print("pipeline produced no rows", file=sys.stderr)
+        return 1
+    _print_rows(rows)
     print(f"\nstats written to {workdir}/", flush=True)
+    if trace_path:
+        # Sweeps write one trace per variant (<out>.<i>.json); report
+        # the paths actually written, not the requested one.
+        written = [r["trace_file"] for r in rows if r.get("trace_file")]
+        for p in dict.fromkeys(written):
+            print(f"trace written to {p} "
+                  f"(open in chrome://tracing or https://ui.perfetto.dev)",
+                  flush=True)
     return 0
 
 

@@ -54,6 +54,9 @@ class ClusterSpec:
     pfs_stripe: int = MB
     config: MegaMmapConfig = field(default_factory=MegaMmapConfig)
     seed: int = 0
+    #: Record latency spans (see :mod:`repro.sim.trace`); off by
+    #: default — the tracer costs nothing when disabled.
+    trace: bool = False
 
     @property
     def nprocs(self) -> int:
@@ -157,6 +160,8 @@ class SimCluster:
         self.system = MegaMmapSystem(
             self.sim, self.network, self.dmshs, config=spec.config,
             pfs=self.pfs, monitor=self.monitor)
+        self.tracer = self.system.tracer
+        self.tracer.enabled = spec.trace
         rank_to_node = [r // spec.procs_per_node
                         for r in range(spec.nprocs)]
         self.world = MpiWorld(self.sim, self.network, rank_to_node)
@@ -221,6 +226,11 @@ class SimCluster:
         """Drain and persist everything (end of the job)."""
         self.sim.run(until=self.sim.process(self.system.shutdown(),
                                             name="shutdown"))
+
+    def export_trace(self, path: str) -> str:
+        """Write recorded spans as Chrome-trace-format JSON (load in
+        ``chrome://tracing`` / Perfetto); returns ``path``."""
+        return self.tracer.export_chrome(path)
 
     # -- introspection --------------------------------------------------------------
     def hardware_cost(self) -> float:

@@ -105,11 +105,16 @@ class MegaMmapClient:
         task.done = Event(self.system.sim)
         nbytes = TASK_ENVELOPE + task.nbytes \
             if task.kind is TaskKind.WRITE else TASK_ENVELOPE
-        yield from self.system.network.transfer(self.node, target, nbytes)
-        self.system.runtimes[target].submit(task)
-        if wait:
-            result = yield task.done
-            return result
+        with self.system.tracer.span(
+                f"submit:{task.kind.value}", "rpc", node=self.node,
+                target=target, vector=task.vector_name,
+                page=task.page_idx, wait=wait, nbytes=nbytes):
+            yield from self.system.network.transfer(self.node, target,
+                                                    nbytes)
+            self.system.runtimes[target].submit(task)
+            if wait:
+                result = yield task.done
+                return result
         self._outstanding.append(task.done)
         return None
 
@@ -144,7 +149,9 @@ class MegaMmapClient:
         pending = [e for e in self._outstanding if not e.processed]
         self._outstanding = []
         if pending:
-            yield AllOf(self.system.sim, pending)
+            with self.system.tracer.span("drain", "rpc", node=self.node,
+                                         count=len(pending)):
+                yield AllOf(self.system.sim, pending)
 
     # -- pcache accounting ------------------------------------------------------------
     def reserve_pcache(self, nbytes: int) -> None:

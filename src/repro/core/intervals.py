@@ -97,6 +97,8 @@ class IntervalSet:
         return (self._ivs[0][0], self._ivs[-1][1])
 
     def overlaps(self, start: int, end: int) -> bool:
+        if start >= end:  # an empty probe overlaps nothing
+            return False
         i = bisect.bisect_left(self._ivs, (start, start))
         if i > 0 and self._ivs[i - 1][1] > start:
             return True

@@ -45,6 +45,9 @@ class MemoryTask:
     fragments: List[Tuple[int, bytes]] = field(default_factory=list)
     scores: List[Tuple[int, float, int]] = field(default_factory=list)
     done: Optional[Event] = None
+    #: Sim time the task entered the owning runtime's queue; the
+    #: worker reports ``now - submit_time`` as the queue-wait span.
+    submit_time: float = 0.0
 
     @property
     def nbytes(self) -> int:

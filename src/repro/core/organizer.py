@@ -59,9 +59,38 @@ class DataOrganizer:
             self.system.monitor.count("organizer.scores")
 
     # -- periodic placement sweep ----------------------------------------------
+    def expire_pending(self) -> int:
+        """Drop pending entries older than the score window.
+
+        Entries wait in ``_pending`` for their page to materialize or
+        for the owning node's sweep to pick them up; pages that never
+        materialize (speculative prefetch scores past the end of the
+        stream) or whose owner never sweeps them would otherwise
+        accumulate forever. A stale score is also *wrong* by III-D: the
+        max-merge timeframe has passed, so acting on it later would
+        move data based on an access pattern that no longer holds.
+        Returns the number of entries dropped.
+        """
+        window = self.system.config.score_window
+        cutoff = self.sim.now - window
+        stale = [key for key, pend in self._pending.items()
+                 if pend.stamp < cutoff]
+        for key in stale:
+            self._pending.pop(key, None)
+        if stale:
+            self.system.monitor.count("organizer.expired", len(stale))
+        return len(stale)
+
     def sweep(self, node: int):
         """Apply pending scores: promote/demote/relocate page blobs."""
         hermes = self.system.hermes
+        self.expire_pending()
+        tracer = self.system.tracer
+        with tracer.span("sweep", "organizer", node=node,
+                         pending=len(self._pending)):
+            yield from self._sweep_timed(node, hermes)
+
+    def _sweep_timed(self, node: int, hermes):
         # Demotions (low scores) first: they free fast-tier capacity
         # that the promotions in the same sweep then use.
         ordered = sorted(self._pending.items(), key=lambda kv: kv[1].score)
@@ -72,7 +101,8 @@ class DataOrganizer:
                 continue
             info = hermes.mdm.peek(vec_name, page_idx)
             if info is None:
-                # Not materialized yet; keep the score for later.
+                # Not materialized yet; keep the score until it ages
+                # out of the window (see expire_pending).
                 continue
             # Only the node owning the blob (or the hinted node) acts,
             # so concurrent sweeps on different nodes do not fight.

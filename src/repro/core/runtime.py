@@ -58,6 +58,7 @@ class NodeRuntime:
     # -- submission -----------------------------------------------------------
     def submit(self, task: MemoryTask) -> None:
         self.inflight += 1
+        task.submit_time = self.sim.now
         self.queue.put(task)
 
     @property
@@ -78,6 +79,7 @@ class NodeRuntime:
 
     def _worker(self, store: Store):
         cfg = self.system.config
+        tracer = self.system.tracer
         while True:
             task = yield store.get()
             pool = self.low_cores \
@@ -85,8 +87,21 @@ class NodeRuntime:
                 else self.high_cores
             req = pool.request()
             yield req
+            # Queue wait: enqueue at the runtime until a CPU core of
+            # the right pool picks the task up.
+            if tracer.enabled:
+                tracer.record(
+                    f"wait:{task.kind.value}", "rt.queue",
+                    self.node_id, task.submit_time, self.sim.now,
+                    vector=task.vector_name, page=task.page_idx,
+                    pool="low" if pool is self.low_cores else "high")
             try:
-                result = yield from self.executor.execute(task)
+                with tracer.span(f"exec:{task.kind.value}",
+                                 "rt.service", node=self.node_id,
+                                 vector=task.vector_name,
+                                 page=task.page_idx,
+                                 nbytes=task.nbytes):
+                    result = yield from self.executor.execute(task)
                 if task.done is not None:
                     task.done.succeed(result)
             except (GeneratorExit, KeyboardInterrupt, SystemExit):

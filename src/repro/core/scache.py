@@ -34,10 +34,16 @@ class ScacheExecutor:
         if vec is None or vec.destroyed:
             raise MegaMmapError(
                 f"task for unknown/destroyed vector {task.vector_name!r}")
+        tracer = self.system.tracer
         if task.kind is TaskKind.READ:
-            return (yield from self._read(vec, task))
+            with tracer.span("read", "scache", node=self.node_id,
+                             vector=vec.name, page=task.page_idx):
+                return (yield from self._read(vec, task))
         if task.kind is TaskKind.WRITE:
-            return (yield from self._write(vec, task))
+            with tracer.span("write", "scache", node=self.node_id,
+                             vector=vec.name, page=task.page_idx,
+                             nbytes=task.nbytes):
+                return (yield from self._write(vec, task))
         if task.kind is TaskKind.SCORE:
             self.system.organizer.ingest(vec, task.scores)
             return None
@@ -81,18 +87,21 @@ class ScacheExecutor:
                                                  page_idx)
             if info is not None:
                 return info
-            staged = yield from self.system.stager.stage_in_extent(
-                vec, page_idx, self.node_id)
-            for p, raw in staged:
-                if p != page_idx and hermes.mdm.peek(vec.name, p) \
-                        is not None:
-                    continue
-                owner = vec.owner_node(p, client_node)
-                put_info = yield from hermes.put(
-                    self.node_id, vec.name, p, raw, score=score,
-                    target_node=owner)
-                if p == page_idx:
-                    info = put_info
+            with self.system.tracer.span(
+                    "stage_in", "scache", node=self.node_id,
+                    vector=vec.name, page=page_idx):
+                staged = yield from self.system.stager.stage_in_extent(
+                    vec, page_idx, self.node_id)
+                for p, raw in staged:
+                    if p != page_idx and hermes.mdm.peek(vec.name, p) \
+                            is not None:
+                        continue
+                    owner = vec.owner_node(p, client_node)
+                    put_info = yield from hermes.put(
+                        self.node_id, vec.name, p, raw, score=score,
+                        target_node=owner)
+                    if p == page_idx:
+                        info = put_info
         finally:
             lock.release()
         if info is None:

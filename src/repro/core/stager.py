@@ -53,8 +53,11 @@ class DataStager:
         avail = max(0, min(nbytes, backend.size() - start))
         if avail <= 0:
             return bytes(nbytes)
-        yield from self._charge_backend(node, avail, write=False,
-                                        offset=start)
+        with self.system.tracer.span("stage_in", "stager", node=node,
+                                     vector=vec.name, page=page_idx,
+                                     nbytes=avail):
+            yield from self._charge_backend(node, avail, write=False,
+                                            offset=start)
         raw = backend.read_range(start, avail)
         if avail < nbytes:
             raw += bytes(nbytes - avail)
@@ -139,7 +142,10 @@ class DataStager:
         backend = vec.ensure_backend()
         start = page_idx * vec.page_size
         backend.ensure_size(start + len(raw))
-        yield from self._charge_backend(node, len(raw), write=True)
+        with self.system.tracer.span("stage_out", "stager", node=node,
+                                     vector=vec.name, page=page_idx,
+                                     nbytes=len(raw)):
+            yield from self._charge_backend(node, len(raw), write=True)
         backend.write_range(start, raw)
         vec.dirty_pages.discard(page_idx)
         # Persisted pages are cold: zero the score so the organizer /

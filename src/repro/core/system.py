@@ -19,7 +19,7 @@ from repro.core.shared import SharedVector
 from repro.core.stager import DataStager
 from repro.hermes import Hermes, MinimizeIoTime
 from repro.net.fabric import Network
-from repro.sim import Monitor, Simulator
+from repro.sim import Monitor, Simulator, Tracer
 from repro.storage.dmsh import DMSH
 from repro.storage.pfs import ParallelFS
 
@@ -31,17 +31,22 @@ class MegaMmapSystem:
                  dmshs: List[DMSH],
                  config: Optional[MegaMmapConfig] = None,
                  pfs: Optional[ParallelFS] = None,
-                 monitor: Optional[Monitor] = None):
+                 monitor: Optional[Monitor] = None,
+                 tracer: Optional[Tracer] = None):
         self.sim = sim
         self.network = network
         self.dmshs = dmshs
         self.config = (config or MegaMmapConfig()).validated()
         self.pfs = pfs
         self.monitor = monitor or Monitor(sim)
+        self.tracer = tracer or Tracer(sim)
+        self.monitor.tracer = self.tracer
+        network.tracer = self.tracer
         self.memcpy_bw = dmshs[0].tiers[0].spec.read_bw
         self.hermes = Hermes(sim, network, dmshs,
                              policy=MinimizeIoTime(),
                              monitor=self.monitor)
+        self.hermes.tracer = self.tracer
         self.hermes.evictor = self._evict_clean_pages
         self.vectors: Dict[str, SharedVector] = {}
         #: In-flight collective page fetches: (vector, page) -> entry.

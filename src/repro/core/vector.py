@@ -97,7 +97,16 @@ class Vector:
 
     @property
     def pcache_used(self) -> int:
-        return len(self.frames) * self.shared.page_size
+        """Actual pcache bytes held by frames.
+
+        Counts real frame sizes (``_reserved``), not
+        ``len(frames) * page_size``: tail pages and frames cached
+        before an ``append`` grew the vector are smaller than a
+        nominal page, and nominal accounting both starved the
+        prefetcher of budget it actually had and evicted frames that
+        fit.
+        """
+        return self._reserved
 
     # -- resource control (paper III-A) -----------------------------------------
     def bound_memory(self, nbytes: int) -> None:
@@ -374,18 +383,32 @@ class Vector:
             raise VectorError(
                 f"region [{off}, {off + size}) outside page of "
                 f"{page_nbytes} bytes")
+        tracer = self.client.system.tracer
+        with tracer.span("fault", "pcache", node=self.client.node,
+                         vector=self.shared.name, page=page_idx,
+                         nbytes=size) as sp:
+            frame = yield from self._fault_timed(
+                page_idx, off, size, page_nbytes, allocate_only, sp)
+        return frame
+
+    def _fault_timed(self, page_idx: int, off: int, size: int,
+                     page_nbytes: int, allocate_only: bool, sp):
         frame = self._lookup(page_idx)
         if frame is None:
-            yield from self._make_room()
+            yield from self._make_room(page_nbytes)
             frame = Frame(page_nbytes)
             self.frames[page_idx] = frame
             self.client.reserve_pcache(page_nbytes)
             self._reserved += page_nbytes
         elif len(frame.data) < page_nbytes:
-            # The vector grew (append): extend the cached frame.
+            # The vector grew (append): extend the cached frame —
+            # making room for the delta first, exactly like a fresh
+            # allocation (the growing frame itself is exempt from
+            # eviction).
+            delta = page_nbytes - len(frame.data)
+            yield from self._make_room(delta, exclude=(page_idx,))
             grown = np.zeros(page_nbytes, dtype=np.uint8)
             grown[:len(frame.data)] = frame.data
-            delta = page_nbytes - len(frame.data)
             frame.data = grown
             self.client.reserve_pcache(delta)
             self._reserved += delta
@@ -395,6 +418,8 @@ class Vector:
         if allocate_only:
             return frame
         missing = self._missing(frame, off, off + size)
+        if missing:
+            sp["miss_bytes"] = sum(e - s for s, e in missing)
         collective = (self.tx is not None and self.tx.is_collective
                       and not self.tx.writes)
         for m_start, m_end in missing:
@@ -435,12 +460,22 @@ class Vector:
             frame.data[s:e] = buf
         frame.valid.add(start, end)
 
-    def _make_room(self):
-        """Evict LRU frames until one more page fits the budget."""
-        page_size = self.shared.page_size
-        while self.frames and \
-                self.pcache_used + page_size > self.pcache_budget:
-            victim = min(self.frames, key=lambda p: self.frames[p].last_use)
+    def _make_room(self, nbytes: Optional[int] = None,
+                   exclude: Tuple[int, ...] = ()):
+        """Evict LRU frames until ``nbytes`` more fit the budget.
+
+        ``nbytes`` defaults to a nominal page. ``exclude`` protects
+        frames from eviction (the frame currently being grown must not
+        be its own victim). Generator.
+        """
+        if nbytes is None:
+            nbytes = self.shared.page_size
+        while self.pcache_used + nbytes > self.pcache_budget:
+            candidates = [p for p in self.frames if p not in exclude]
+            if not candidates:
+                break
+            victim = min(candidates,
+                         key=lambda p: self.frames[p].last_use)
             yield from self.evict_page(victim)
 
     def evict_page(self, page_idx: int):
@@ -455,25 +490,29 @@ class Vector:
             return
         if self._last_page[0] == page_idx:
             self._last_page = (-1, None)
-        if frame.pending is not None and not frame.pending.processed:
-            yield frame.pending
-        if frame.dirty:
-            fragments = [
-                (start, frame.data[start:end].tobytes())
-                for start, end in frame.dirty
-            ]
-            nbytes = sum(len(d) for _, d in fragments)
-            # Cost of the copy out of the pcache.
-            yield self.client.system.sim.timeout(
-                nbytes / self.client.system.memcpy_bw)
-            task = MemoryTask(
-                kind=TaskKind.WRITE, vector_name=self.shared.name,
-                page_idx=page_idx, client_node=self.client.node,
-                fragments=fragments)
-            yield from self.client.submit(task, wait=False)
-            self.client.system.monitor.count("pcache.evictions_dirty")
-        else:
-            self.client.system.monitor.count("pcache.evictions_clean")
+        tracer = self.client.system.tracer
+        with tracer.span("evict", "pcache", node=self.client.node,
+                         vector=self.shared.name, page=page_idx,
+                         dirty_bytes=frame.dirty.total):
+            if frame.pending is not None and not frame.pending.processed:
+                yield frame.pending
+            if frame.dirty:
+                fragments = [
+                    (start, frame.data[start:end].tobytes())
+                    for start, end in frame.dirty
+                ]
+                nbytes = sum(len(d) for _, d in fragments)
+                # Cost of the copy out of the pcache.
+                yield self.client.system.sim.timeout(
+                    nbytes / self.client.system.memcpy_bw)
+                task = MemoryTask(
+                    kind=TaskKind.WRITE, vector_name=self.shared.name,
+                    page_idx=page_idx, client_node=self.client.node,
+                    fragments=fragments)
+                yield from self.client.submit(task, wait=False)
+                self.client.system.monitor.count("pcache.evictions_dirty")
+            else:
+                self.client.system.monitor.count("pcache.evictions_clean")
         self.client.unreserve_pcache(len(frame.data))
         self._reserved -= len(frame.data)
 
@@ -481,9 +520,13 @@ class Vector:
         """Start an asynchronous pcache fill (non-blocking)."""
         if page_idx >= self.shared.n_pages or page_idx in self.frames:
             return
-        if self.pcache_used + self.shared.page_size > self.pcache_budget:
-            return
+        # Budget-check the bytes this page actually occupies: the tail
+        # page is smaller than a nominal page, and testing with
+        # ``page_size`` both refused prefetches that fit and (were a
+        # frame ever larger) would over-commit the budget.
         page_nbytes = self.shared.page_nbytes(page_idx)
+        if self.pcache_used + page_nbytes > self.pcache_budget:
+            return
         frame = Frame(page_nbytes)
         self.frames[page_idx] = frame
         self.client.reserve_pcache(page_nbytes)
@@ -495,11 +538,17 @@ class Vector:
             region=(0, page_nbytes))
 
         def fill():
-            raw = yield from self.client.submit(task, wait=True)
-            if page_idx in self.frames and self.frames[page_idx] is frame:
-                self._install(frame, 0, raw)
-            frame.pending = None
-            self.client.system.monitor.count("pcache.prefetches")
+            tracer = self.client.system.tracer
+            with tracer.span("prefetch", "pcache",
+                             node=self.client.node,
+                             vector=self.shared.name, page=page_idx,
+                             nbytes=page_nbytes):
+                raw = yield from self.client.submit(task, wait=True)
+                if page_idx in self.frames \
+                        and self.frames[page_idx] is frame:
+                    self._install(frame, 0, raw)
+                frame.pending = None
+                self.client.system.monitor.count("pcache.prefetches")
 
         frame.pending = self.client.system.sim.process(
             fill(), name=f"prefetch {self.shared.name}[{page_idx}]")

@@ -9,6 +9,7 @@ from repro.hermes.dpe import MinimizeIoTime, PlacementError, PlacementPolicy
 from repro.hermes.mdm import MetadataManager
 from repro.net.fabric import Network
 from repro.sim import Lock, Monitor, Simulator
+from repro.sim.trace import NOOP_TRACER
 from repro.storage.device import Device
 from repro.storage.dmsh import DMSH
 
@@ -31,6 +32,8 @@ class Hermes:
         self.dmshs = dmshs
         self.policy = policy or MinimizeIoTime()
         self.monitor = monitor
+        #: Span tracer; the embedding system installs its own.
+        self.tracer = NOOP_TRACER
         self.mdm = MetadataManager(sim, network, len(dmshs))
         # Per-blob locks serialize mutations (move vs move, move vs
         # partial update); reads take them too so a get never observes
@@ -321,18 +324,24 @@ class Hermes:
             raise BlobNotFound((bucket, key))
         if info.tier == to_tier and info.node == node:
             return info
-        src = self._device(info.node, info.tier)
-        dst = self._device(node, to_tier)
-        # A replica on the destination would collide with the primary's
-        # device key: absorb it (the put below refreshes content).
-        if (node, to_tier) in info.replicas:
-            info.replicas.remove((node, to_tier))
-        raw = yield from src.get((bucket, key))
-        if info.node != node:
-            yield from self.network.transfer(info.node, node, len(raw))
-        yield from dst.put((bucket, key), raw)
-        src.delete((bucket, key))
-        info.node, info.tier = node, to_tier
+        with self.tracer.span("move", "hermes", node=info.node,
+                              bucket=bucket, key=key,
+                              src_tier=info.tier, dst_node=node,
+                              dst_tier=to_tier, nbytes=info.nbytes):
+            src = self._device(info.node, info.tier)
+            dst = self._device(node, to_tier)
+            # A replica on the destination would collide with the
+            # primary's device key: absorb it (the put below refreshes
+            # content).
+            if (node, to_tier) in info.replicas:
+                info.replicas.remove((node, to_tier))
+            raw = yield from src.get((bucket, key))
+            if info.node != node:
+                yield from self.network.transfer(info.node, node,
+                                                 len(raw))
+            yield from dst.put((bucket, key), raw)
+            src.delete((bucket, key))
+            info.node, info.tier = node, to_tier
         if self.monitor is not None:
             self.monitor.count("hermes.moves")
         return info

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim import Monitor, Resource, Simulator
+from repro.sim.trace import NOOP_TRACER
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,8 @@ class Network:
         self._nics = [Resource(sim, capacity=1, name=f"nic{i}")
                       for i in range(n_nodes)]
         self.bytes_moved = 0
+        #: Span tracer; the embedding system installs its own.
+        self.tracer = NOOP_TRACER
 
     def rack_of(self, node: int) -> int:
         return node // self.rack_size
@@ -85,15 +88,18 @@ class Network:
             raise ValueError(f"negative transfer size {nbytes}")
         if link is None or src == dst:
             link = self.link_for(src, dst)
-        if src == dst:
-            yield self.sim.timeout(link.xfer_time(nbytes))
-        else:
-            req = self._nics[src].request()
-            yield req
-            try:
+        with self.tracer.span("memcpy" if src == dst else "transfer",
+                              "net", node=src, src=src, dst=dst,
+                              nbytes=nbytes):
+            if src == dst:
                 yield self.sim.timeout(link.xfer_time(nbytes))
-            finally:
-                self._nics[src].release(req)
+            else:
+                req = self._nics[src].request()
+                yield req
+                try:
+                    yield self.sim.timeout(link.xfer_time(nbytes))
+                finally:
+                    self._nics[src].release(req)
         self.bytes_moved += nbytes
         if self.monitor is not None:
             self.monitor.count("net.bytes", nbytes)

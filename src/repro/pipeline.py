@@ -234,9 +234,15 @@ def _get_path(spec: Dict[str, Any], dotted: str) -> Any:
     return node
 
 
-def run_pipeline(text_or_path: str, workdir: Optional[str] = None
+def run_pipeline(text_or_path: str, workdir: Optional[str] = None,
+                 trace_path: Optional[str] = None
                  ) -> List[Dict[str, Any]]:
-    """Execute a pipeline; returns (and persists) the stats rows."""
+    """Execute a pipeline; returns (and persists) the stats rows.
+
+    ``trace_path`` enables span tracing on every variant's cluster and
+    writes Chrome-trace-format JSON there (sweep variants append
+    ``.<i>`` before the extension).
+    """
     if os.path.exists(text_or_path):
         with open(text_or_path, encoding="utf-8") as fh:
             text = fh.read()
@@ -254,10 +260,20 @@ def run_pipeline(text_or_path: str, workdir: Optional[str] = None
     workdir = workdir or default_dir
     os.makedirs(workdir, exist_ok=True)
     rows: List[Dict[str, Any]] = []
-    for variant in _expand_sweep(spec):
+    variants = _expand_sweep(spec)
+    for i, variant in enumerate(variants):
         prepare_dataset(variant.get("dataset"), workdir)
         cluster = build_cluster(variant.get("cluster"))
+        if trace_path:
+            cluster.tracer.enabled = True
         res = APP_REGISTRY[kind](cluster, variant, workdir)
+        trace_file = None
+        if trace_path:
+            trace_file = trace_path
+            if len(variants) > 1:
+                root, ext = os.path.splitext(trace_path)
+                trace_file = f"{root}.{i}{ext or '.json'}"
+            cluster.export_trace(trace_file)
         row: Dict[str, Any] = {
             "app": variant.get("name", kind),
             "nprocs": cluster.spec.nprocs,
@@ -273,6 +289,8 @@ def run_pipeline(text_or_path: str, workdir: Optional[str] = None
             row[axis] = _get_path(variant, axis)
         for axis in (spec.get("sweep") or []):
             row[axis["key"]] = _get_path(variant, axis["key"])
+        if trace_file:
+            row["trace_file"] = trace_file
         rows.append(row)
     out_name = spec.get("output", "stats_dict.csv")
     out_path = os.path.join(workdir, out_name)

@@ -34,6 +34,7 @@ from repro.sim.monitor import Gauge, Monitor, TimeSeries
 from repro.sim.rand import rng_stream, spawn_seed
 from repro.sim.resources import Request, Resource, Store
 from repro.sim.sync import Barrier, Condition, Lock
+from repro.sim.trace import NOOP_TRACER, Span, Tracer
 
 __all__ = [
     "AllOf",
@@ -45,14 +46,17 @@ __all__ = [
     "Interrupt",
     "Lock",
     "Monitor",
+    "NOOP_TRACER",
     "Process",
     "Request",
     "Resource",
     "SimulationError",
     "Simulator",
+    "Span",
     "Store",
     "TimeSeries",
     "Timeout",
+    "Tracer",
     "rng_stream",
     "spawn_seed",
 ]

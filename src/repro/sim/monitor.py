@@ -42,17 +42,26 @@ class TimeSeries:
         return min((v for _, v in self.samples), default=0.0)
 
     def time_average(self, until: Optional[float] = None) -> float:
-        """Time-weighted average, treating the series as a step function."""
+        """Time-weighted average over ``[first sample, until)``,
+        treating the series as a step function.
+
+        An empty window (no samples, or ``until`` at or before the
+        first sample) averages to 0.0; samples past ``until`` are
+        clipped rather than counted.
+        """
         if not self.samples:
             return 0.0
         end = until if until is not None else self.samples[-1][0]
-        total = 0.0
         span = end - self.samples[0][0]
         if span <= 0:
-            return self.samples[-1][1]
+            return 0.0
+        total = 0.0
         for (t0, v0), (t1, _v1) in zip(self.samples, self.samples[1:]):
-            total += v0 * (t1 - t0)
-        total += self.samples[-1][1] * (end - self.samples[-1][0])
+            if t0 >= end:
+                break
+            total += v0 * (min(t1, end) - t0)
+        if self.samples[-1][0] < end:
+            total += self.samples[-1][1] * (end - self.samples[-1][0])
         return total / span
 
 
@@ -92,6 +101,9 @@ class Monitor:
         self.sim = sim
         self.gauges: Dict[str, Gauge] = {}
         self.counters: Dict[str, float] = {}
+        #: Optional :class:`~repro.sim.trace.Tracer` whose per-category
+        #: latency percentiles fold into :meth:`summary`.
+        self.tracer = None
 
     def gauge(self, name: str) -> Gauge:
         if name not in self.gauges:
@@ -109,10 +121,14 @@ class Monitor:
         return g.peak if g else 0.0
 
     def summary(self) -> Dict[str, float]:
-        """Flat dict of counters plus per-gauge peak and time average."""
+        """Flat dict of counters plus per-gauge peak and time average,
+        plus per-category trace latency percentiles when a tracer is
+        attached and was enabled."""
         out: Dict[str, float] = dict(self.counters)
         for name, g in self.gauges.items():
             out[f"{name}.peak"] = g.peak
             avg = g.time_average()
             out[f"{name}.avg"] = avg if math.isfinite(avg) else 0.0
+        if self.tracer is not None:
+            out.update(self.tracer.latency_summary())
         return out

@@ -1,0 +1,280 @@
+"""Structured span tracing against simulated time.
+
+The paper attributes MegaMmap's wins to *overlap*: prefetching, async
+eviction, and organizer sweeps hide device and network time behind
+compute. Flat counters cannot show whether that overlap actually
+happens — only a timeline can. :class:`Tracer` records nested spans
+``(name, category, node, start, end, attrs)`` so one trace shows a
+page fault decomposed into runtime queue wait, device I/O, network
+transfer, and install (the role UMap's application-visible telemetry
+and MaxMem's per-page latency tracking play for real tiered-memory
+systems).
+
+Design constraints:
+
+* **Zero cost when disabled.** Call sites do
+  ``with tracer.span(...):`` unconditionally; a disabled tracer hands
+  back a shared no-op context manager and records nothing.
+* **Correct nesting across interleaved processes.** Simulated
+  processes interleave arbitrarily, so a single global span stack
+  would corrupt parentage. Spans are stacked *per simulated process*
+  (the engine's currently-active :class:`~repro.sim.engine.Process`),
+  within which execution is serial.
+* **Chrome trace export.** :meth:`Tracer.export_chrome` writes the
+  Trace Event Format JSON (``ph: "X"`` complete events plus thread
+  metadata) that ``chrome://tracing`` and Perfetto load directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Span", "Tracer", "NOOP_TRACER"]
+
+
+class Span:
+    """One timed interval on a track, possibly nested inside another."""
+
+    __slots__ = ("name", "category", "node", "start", "end", "attrs",
+                 "track", "parent_id", "span_id")
+
+    def __init__(self, name: str, category: str, node: int,
+                 start: float, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.category = category
+        self.node = node
+        self.start = start
+        self.end = start
+        self.attrs = attrs or {}
+        self.track = ""
+        self.parent_id: Optional[int] = None
+        self.span_id = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        """Attach an attribute mid-span (``sp["nbytes"] = n``)."""
+        self.attrs[key] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Span {self.category}:{self.name} node={self.node} "
+                f"[{self.start:.6f}, {self.end:.6f})>")
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanCtx:
+    """Context manager that opens a span on ``__enter__`` and closes
+    it at the simulated time of ``__exit__``.
+
+    Works inside generator-style processes: the ``with`` block
+    suspends and resumes with the generator, so the close time is the
+    simulated time when the block actually completes.
+    """
+
+    __slots__ = ("tracer", "span", "_track_key")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self.tracer = tracer
+        self.span = span
+        self._track_key: Optional[int] = None
+
+    def __enter__(self) -> Span:
+        self._track_key = self.tracer._open(self.span)
+        return self.span
+
+    def __exit__(self, *exc) -> bool:
+        self.tracer._close(self.span, self._track_key)
+        return False
+
+
+class Tracer:
+    """Span recorder for one simulation.
+
+    ``enabled`` may be flipped at any time; spans opened while enabled
+    are recorded even if the tracer is disabled before they close.
+    ``max_spans`` bounds memory: past it, span objects are dropped
+    (the drop count is reported in :meth:`latency_summary` so the
+    truncation is never silent) but per-category durations continue to
+    accumulate, keeping percentiles exact.
+    """
+
+    def __init__(self, sim: Simulator, enabled: bool = False,
+                 max_spans: int = 500_000):
+        self.sim = sim
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._durations: Dict[str, List[float]] = {}
+        self._stacks: Dict[int, List[Span]] = {}
+        self._next_id = 1
+
+    # -- recording ---------------------------------------------------------
+    def span(self, name: str, category: str, node: int = -1, **attrs):
+        """Open a nested span: ``with tracer.span("fault", "pcache",
+        node=0, page=3) as sp:``. No-op when disabled."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _SpanCtx(self, Span(name, category, node, self.sim.now,
+                                   attrs))
+
+    def record(self, name: str, category: str, node: int,
+               start: float, end: float, **attrs) -> None:
+        """Record an already-elapsed interval (e.g. a queue wait
+        measured as ``now - enqueue_time``). No-op when disabled."""
+        if not self.enabled:
+            return
+        span = Span(name, category, node, start, attrs)
+        span.end = end
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.track = self._track_name()
+        self._finish(span)
+
+    def _track_name(self) -> str:
+        proc = self.sim._active
+        return proc.name if proc is not None else "main"
+
+    def _open(self, span: Span) -> int:
+        proc = self.sim._active
+        key = id(proc) if proc is not None else 0
+        span.track = proc.name if proc is not None else "main"
+        span.span_id = self._next_id
+        self._next_id += 1
+        stack = self._stacks.get(key)
+        if stack:
+            span.parent_id = stack[-1].span_id
+        else:
+            stack = self._stacks[key] = []
+        stack.append(span)
+        return key
+
+    def _close(self, span: Span, key: Optional[int]) -> None:
+        span.end = self.sim.now
+        stack = self._stacks.get(key)
+        if stack and stack[-1] is span:
+            stack.pop()
+            if not stack:
+                del self._stacks[key]
+        elif stack and span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+        self._finish(span)
+
+    def _finish(self, span: Span) -> None:
+        self._durations.setdefault(span.category, []).append(
+            span.duration)
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._durations.clear()
+        self._stacks.clear()
+        self.dropped = 0
+        self._next_id = 1
+
+    # -- statistics --------------------------------------------------------
+    @property
+    def categories(self) -> List[str]:
+        return sorted(self._durations)
+
+    def percentile(self, category: str, q: float) -> float:
+        """Nearest-rank percentile of span durations (``q`` in
+        [0, 100]); 0.0 for an unseen category."""
+        durs = self._durations.get(category)
+        if not durs:
+            return 0.0
+        ordered = sorted(durs)
+        rank = max(0, min(len(ordered) - 1,
+                          int(-(-q * len(ordered) // 100)) - 1))
+        return ordered[rank]
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Flat dict of per-category latency statistics, keyed
+        ``trace.<category>.<stat>`` — the histogram block
+        :meth:`~repro.sim.monitor.Monitor.summary` folds in."""
+        out: Dict[str, float] = {}
+        for cat, durs in self._durations.items():
+            ordered = sorted(durs)
+            n = len(ordered)
+            out[f"trace.{cat}.count"] = float(n)
+            out[f"trace.{cat}.total"] = sum(ordered)
+            out[f"trace.{cat}.mean"] = sum(ordered) / n
+            for q in (50, 95, 99):
+                rank = max(0, min(n - 1, int(-(-q * n // 100)) - 1))
+                out[f"trace.{cat}.p{q}"] = ordered[rank]
+        if self.dropped:
+            out["trace.dropped_spans"] = float(self.dropped)
+        return out
+
+    # -- export ------------------------------------------------------------
+    def to_chrome_events(self) -> List[Dict[str, Any]]:
+        """Spans as Chrome Trace Event Format dicts (µs timestamps)."""
+        events: List[Dict[str, Any]] = []
+        tids: Dict[Tuple[int, str], int] = {}
+        pids = set()
+        for span in self.spans:
+            pid = span.node if span.node >= 0 else -1
+            tkey = (pid, span.track)
+            tid = tids.get(tkey)
+            if tid is None:
+                tid = tids[tkey] = len(tids) + 1
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": tid, "args": {"name": span.track}})
+            if pid not in pids:
+                pids.add(pid)
+                events.append({
+                    "ph": "M", "name": "process_name", "pid": pid,
+                    "args": {"name": f"node{pid}" if pid >= 0
+                             else "cluster"}})
+            args = {k: v for k, v in span.attrs.items()}
+            if span.parent_id is not None:
+                args["parent"] = span.parent_id
+            args["id"] = span.span_id
+            events.append({
+                "name": span.name, "cat": span.category, "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (span.end - span.start) * 1e6,
+                "pid": pid, "tid": tid, "args": args})
+        return events
+
+    def export_chrome(self, path: str) -> str:
+        """Write the trace as Chrome-trace-format JSON; returns
+        ``path``. Load in ``chrome://tracing`` or Perfetto."""
+        doc = {"traceEvents": self.to_chrome_events(),
+               "displayTimeUnit": "ms",
+               "otherData": {"dropped_spans": self.dropped}}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        return path
+
+
+#: Shared disabled tracer for components constructed without one
+#: (standalone Network/Monitor in unit tests). Never enable it: it has
+#: no simulator to take timestamps from.
+NOOP_TRACER = Tracer(sim=None)  # type: ignore[arg-type]

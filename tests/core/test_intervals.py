@@ -127,3 +127,113 @@ def test_add_remove_matches_set_model(ops):
     assert s.total == len(model)
     for p in range(61):
         assert (p in s) == (p in model)
+    # Canonical form after ANY add/remove sequence: sorted, non-empty,
+    # with a strict gap between neighbours (adjacent runs merged).
+    ivs = list(s)
+    assert all(e > s0 for s0, e in ivs)
+    for (_, e0), (s1, _) in zip(ivs, ivs[1:]):
+        assert e0 < s1
+
+
+# -- property suites: round-trips, adjacency, boundaries --------------------
+
+_iv = st.tuples(st.integers(0, 60), st.integers(0, 60)).map(
+    lambda ab: (min(ab), max(ab)))
+_ivsets = st.lists(_iv, max_size=12).map(
+    lambda ivs: IntervalSet([(a, b) for a, b in ivs if a < b]))
+
+
+def _points(s: IntervalSet) -> set:
+    return {p for a, b in s for p in range(a, b)}
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ivsets, _iv)
+def test_add_then_remove_equals_remove(s, iv):
+    """add(x) ; remove(x) leaves exactly s - x (no stray fragments)."""
+    lo, hi = iv
+    via_add = s.copy()
+    via_add.add(lo, hi)
+    via_add.remove(lo, hi)
+    direct = s.copy()
+    direct.remove(lo, hi)
+    assert via_add == direct
+    assert _points(via_add) == _points(s) - set(range(lo, hi))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ivsets, _iv)
+def test_remove_then_add_equals_add(s, iv):
+    """remove(x) ; add(x) leaves exactly s | x."""
+    lo, hi = iv
+    via_remove = s.copy()
+    via_remove.remove(lo, hi)
+    via_remove.add(lo, hi)
+    direct = s.copy()
+    direct.add(lo, hi)
+    assert via_remove == direct
+    assert _points(via_remove) == _points(s) | set(range(lo, hi))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ivsets, _iv)
+def test_intersect_matches_set_model(s, iv):
+    lo, hi = iv
+    clipped = s.intersect(lo, hi)
+    assert _points(clipped) == _points(s) & set(range(lo, hi))
+    # Clipping to the full span is the identity.
+    a, b = s.span
+    assert s.intersect(a, b) == s
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ivsets, st.integers(0, 60), st.integers(0, 61))
+def test_intersect_split_reassembles(s, mid, width):
+    """Splitting a window at any midpoint and re-adding both halves
+    reconstructs the clipped set — intersect never loses or invents
+    bytes at the seam."""
+    lo, hi = s.span
+    mid = min(max(mid, lo), hi)
+    left, right = s.intersect(lo, mid), s.intersect(mid, hi)
+    rejoined = left.copy()
+    for a, b in right:
+        rejoined.add(a, b)
+    assert rejoined == s.intersect(lo, hi) == s
+    assert left.total + right.total == s.total
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.integers(0, 60), st.integers(0, 60), st.integers(0, 60))
+def test_adjacent_adds_merge_to_one(a, b, c):
+    """[a,b) + [b,c) is indistinguishable from [a,c)."""
+    lo, mid, hi = sorted((a, b, c))
+    split = IntervalSet()
+    split.add(lo, mid)
+    split.add(mid, hi)
+    whole = IntervalSet()
+    whole.add(lo, hi)
+    assert split == whole
+    assert len(split) <= 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ivsets, _iv)
+def test_overlaps_matches_point_model(s, iv):
+    lo, hi = iv
+    assert s.overlaps(lo, hi) == any(
+        p in s for p in range(lo, hi))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ivsets, st.integers(0, 61))
+def test_overlaps_halfopen_boundaries(s, x):
+    """Half-open semantics: an empty probe never overlaps, and a probe
+    ending exactly at an interval's start (or starting at its end)
+    does not touch it."""
+    assert not s.overlaps(x, x)
+    for a, b in s:
+        assert not s.overlaps(b, b + 1) or (b in s)
+        if a > 0:
+            assert not s.overlaps(a - 1, a) or (a - 1) in s
+        assert s.overlaps(a, a + 1)
+        assert s.overlaps(b - 1, b)

@@ -1,0 +1,119 @@
+"""Regression tests: the pcache budget is honoured with *actual* frame
+bytes, in every path that allocates frame memory.
+
+Three historical bugs, one test each (each fails with its fix
+reverted):
+
+* frame growth after ``append`` extended a cached frame without making
+  room, so the pcache could exceed ``pcache_budget``;
+* ``pcache_used`` counted ``len(frames) * page_size``, evicting frames
+  that actually fit (tail pages are smaller than a nominal page);
+* ``prefetch_page`` budget-checked a nominal page, refusing tail-page
+  prefetches that fit.
+"""
+
+import numpy as np
+
+from repro.core import MM_READ_WRITE, SeqTx
+from tests.core.conftest import build_system, run_procs
+
+PAGE = 4096                       # fixture page size (bytes)
+EPP = PAGE // 8                   # int64 elements per page: 512
+
+
+def _system():
+    # Prefetching off so Algorithm 1 cannot evict/prefetch behind the
+    # test's back; frame population is exactly what the test does.
+    return build_system(prefetch_enabled=False)
+
+
+def _make_tail_vector(client, name="v", n_elems=EPP + 1):
+    """A vector whose last page is tiny: pages [0..] full, tail 8 B."""
+    holder = {}
+
+    def app():
+        holder["vec"] = yield from client.vector(name, dtype=np.int64,
+                                                 size=n_elems)
+
+    return holder, app
+
+
+def test_append_growth_respects_budget():
+    """Growing a cached frame after ``append`` must evict for the
+    delta, not silently blow past the budget."""
+    sim, system = _system()
+    client = system.client(rank=0, node=0)
+
+    def app():
+        # Page 0 full (4096 B), page 1 the 8 B tail.
+        vec = yield from client.vector("g", dtype=np.int64,
+                                       size=EPP + 1)
+        vec.bound_memory(PAGE + 8)  # exactly both frames, no slack
+        yield from vec.tx_begin(SeqTx(0, EPP + 1, MM_READ_WRITE))
+        yield from vec.read_range(EPP, 1)   # tail frame: 8 B
+        yield from vec.read_range(0, 1)     # page 0 frame: 4096 B
+        assert sorted(vec.frames) == [0, 1]
+        assert vec.pcache_used == PAGE + 8
+        # Fill page 1: append grows the vector to 2 full pages, so
+        # faulting the appended range must grow frame 1 by 4088 B —
+        # which only fits if page 0 is evicted first.
+        yield from vec.append(np.arange(EPP - 1, dtype=np.int64))
+        assert vec.pcache_used <= vec.pcache_budget, \
+            (vec.pcache_used, vec.pcache_budget)
+        assert 0 not in vec.frames          # the LRU victim
+        assert len(vec.frames[1].data) == PAGE
+        # Accounting stays consistent: evicting the grown frame
+        # releases the full grown size.
+        yield from vec.evict_page(1)
+        assert vec.pcache_used == 0
+        yield from vec.tx_end()
+        yield from client.drain()
+
+    run_procs(sim, app())
+
+
+def test_tail_frame_counts_actual_bytes():
+    """Two frames whose real sizes fit the budget must coexist even
+    when ``len(frames) * page_size`` would not."""
+    sim, system = _system()
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("t", dtype=np.int64,
+                                       size=EPP + 1)
+        # Fits 4096 + 8 but NOT a nominal 2 * 4096.
+        vec.bound_memory(PAGE + 2000)
+        yield from vec.tx_begin(SeqTx(0, EPP + 1, MM_READ_WRITE))
+        yield from vec.read_range(EPP, 1)   # 8 B tail frame
+        yield from vec.read_range(0, 1)     # 4096 B frame
+        # Nominal accounting evicted the tail frame here.
+        assert sorted(vec.frames) == [0, 1]
+        assert vec.pcache_used == PAGE + 8
+        yield from vec.tx_end()
+        yield from client.drain()
+
+    run_procs(sim, app())
+
+
+def test_prefetch_tail_page_budget_checks_actual_bytes():
+    """An 8 B tail page must prefetch into 8 B of remaining budget."""
+    sim, system = _system()
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("p", dtype=np.int64,
+                                       size=EPP + 1)
+        vec.bound_memory(PAGE + 8)
+        yield from vec.tx_begin(SeqTx(0, EPP + 1, MM_READ_WRITE))
+        yield from vec.read_range(0, 1)     # 4096 B resident
+        vec.prefetch_page(1)                # 8 B more: exactly fits
+        # The nominal check (used + page_size > budget) refused this.
+        assert 1 in vec.frames
+        if vec.frames[1].pending is not None:
+            yield vec.frames[1].pending
+        assert vec.pcache_used == PAGE + 8
+        assert vec.pcache_used <= vec.pcache_budget
+        yield from vec.tx_end()
+        yield from client.drain()
+
+    run_procs(sim, app())

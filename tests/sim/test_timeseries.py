@@ -1,0 +1,63 @@
+"""Edge-case tests for TimeSeries.time_average (monitor satellite fix).
+
+Pre-fix, ``time_average(until=t)`` with ``t`` at or before the first
+sample returned the *last sample's value* (a nonsense answer for an
+empty window) because the zero/negative span fell through to a
+single-sample shortcut. It must return 0.0.
+"""
+
+import pytest
+
+from repro.sim.monitor import TimeSeries
+
+
+def _series(*samples):
+    ts = TimeSeries()
+    for t, v in samples:
+        ts.record(t, v)
+    return ts
+
+
+def test_empty_series_averages_zero():
+    assert TimeSeries().time_average() == 0.0
+    assert TimeSeries().time_average(until=5.0) == 0.0
+
+
+def test_until_before_first_sample_is_zero():
+    ts = _series((10.0, 42.0), (20.0, 7.0))
+    # The regression: this used to return 7.0 (the last value).
+    assert ts.time_average(until=5.0) == 0.0
+    assert ts.time_average(until=10.0) == 0.0  # zero-width window
+
+
+def test_single_sample_zero_span_is_zero():
+    ts = _series((3.0, 99.0))
+    assert ts.time_average() == 0.0            # until defaults to t0
+    assert ts.time_average(until=3.0) == 0.0
+    assert ts.time_average(until=1.0) == 0.0
+
+
+def test_single_sample_extends_to_until():
+    ts = _series((3.0, 99.0))
+    assert ts.time_average(until=5.0) == pytest.approx(99.0)
+
+
+def test_step_function_average():
+    ts = _series((0.0, 1.0), (1.0, 3.0), (3.0, 0.0))
+    # [0,1): 1, [1,3): 3 -> (1*1 + 3*2) / 3
+    assert ts.time_average() == pytest.approx(7.0 / 3.0)
+
+
+def test_until_clips_partial_interval():
+    ts = _series((0.0, 2.0), (4.0, 10.0))
+    # [0,2) of value 2 -> 4/2 = 2.0; the 10.0 sample is untouched.
+    assert ts.time_average(until=2.0) == pytest.approx(2.0)
+    # [0,5): 2*4 + 10*1 = 18 over 5.
+    assert ts.time_average(until=5.0) == pytest.approx(18.0 / 5.0)
+
+
+def test_until_before_last_sample_ignores_later_samples():
+    ts = _series((0.0, 1.0), (1.0, 100.0), (2.0, 1000.0))
+    assert ts.time_average(until=1.0) == pytest.approx(1.0)
+    assert ts.time_average(until=1.5) == pytest.approx(
+        (1.0 * 1.0 + 100.0 * 0.5) / 1.5)

@@ -167,6 +167,48 @@ def test_cli_main(tmp_path, capsys):
     assert "stats written" in out
 
 
+def test_cli_run_subcommand(tmp_path, capsys):
+    from repro.__main__ import main
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    rc = main(["run", str(path), "--workdir", str(tmp_path)])
+    assert rc == 0
+    assert "runtime_s" in capsys.readouterr().out
+
+
+def test_cli_trace_subcommand_writes_chrome_json(tmp_path, capsys):
+    import json
+    from repro.__main__ import main
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    out = tmp_path / "t.json"
+    rc = main(["trace", str(path), "--workdir", str(tmp_path),
+               "--out", str(out)])
+    assert rc == 0
+    assert "trace written to" in capsys.readouterr().out
+    with open(out, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert xs, "traced run produced no spans"
+    assert {"pcache", "rt.service"} <= {e["cat"] for e in xs}
+
+
+def test_run_pipeline_trace_path_per_sweep_variant(tmp_path):
+    spec = MINI_KMEANS + """
+sweep:
+  - key: app.max_iter
+    values:
+      - 1
+      - 2
+"""
+    trace = tmp_path / "sweep.json"
+    rows = run_pipeline(spec, workdir=str(tmp_path),
+                        trace_path=str(trace))
+    assert len(rows) == 2
+    assert (tmp_path / "sweep.0.json").exists()
+    assert (tmp_path / "sweep.1.json").exists()
+
+
 def test_repo_pipelines_parse(tmp_path):
     """The shipped pipeline files must at least parse and reference
     known apps."""
