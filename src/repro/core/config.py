@@ -55,6 +55,18 @@ class MegaMmapConfig:
         storage during periods of computation").
     prefetch_enabled / organizer_enabled:
         Ablation switches.
+    batching_enabled:
+        Coalesce contiguous page operations into batched MemoryTasks
+        shipped with one envelope per owner node (vectored RPCs); off
+        reverts to the one-task-per-page path (ablation/debug switch —
+        results are bit-identical either way).
+    batch_max_pages:
+        Cap on the number of pages a single batched task may carry
+        (bounds per-batch latency and worker monopolization).
+    scale_down_periods:
+        Consecutive low-backlog controller periods required before the
+        high-latency worker pool gives back a core (a trickle of tasks
+        must not pin the pool at ``workers_max`` forever).
     compute_bw:
         Simulated per-process compute throughput (bytes/s) used by
         ``ctx.compute_bytes`` when applications charge compute time.
@@ -73,6 +85,9 @@ class MegaMmapConfig:
     flush_period: float = 0.25
     prefetch_enabled: bool = True
     organizer_enabled: bool = True
+    batching_enabled: bool = True
+    batch_max_pages: int = 64
+    scale_down_periods: int = 3
     compute_bw: float = 2e9
     #: Stage-in granularity: a page fault on a cold nonvolatile vector
     #: stages a whole backend extent (amortizing the PFS request
@@ -97,6 +112,12 @@ class MegaMmapConfig:
             raise ValueError("each worker pool needs at least one worker")
         if self.workers_min > self.workers_max:
             raise ValueError("workers_min exceeds workers_max")
+        if self.batch_max_pages < 1:
+            raise ValueError(f"batch_max_pages must be at least 1, got "
+                             f"{self.batch_max_pages}")
+        if self.scale_down_periods < 1:
+            raise ValueError(f"scale_down_periods must be at least 1, "
+                             f"got {self.scale_down_periods}")
         return self
 
     @classmethod

@@ -57,3 +57,36 @@ class MemoryTask:
         if self.kind is TaskKind.WRITE:
             return sum(len(d) for _, d in self.fragments)
         return 0
+
+
+@dataclass
+class BatchTask:
+    """Several same-kind MemoryTasks for one owner node, shipped and
+    serviced as a unit.
+
+    The client groups page operations by owner and pays one envelope +
+    payload transfer per owner instead of per page (vectored RPC); the
+    runtime fans the batch out to the per-page worker FIFOs so the
+    read-after-write ordering guarantee of same-page tasks is kept, and
+    the scache serves the whole batch with one stage-in round per
+    contiguous extent. ``done`` fires with the list of per-task results
+    in ``tasks`` order.
+    """
+
+    kind: TaskKind
+    vector_name: str
+    client_node: int
+    tasks: List[MemoryTask] = field(default_factory=list)
+    done: Optional[Event] = None
+    submit_time: float = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(t.nbytes for t in self.tasks)
+
+    @property
+    def pages(self) -> List[int]:
+        return [t.page_idx for t in self.tasks]
+
+    def __len__(self) -> int:
+        return len(self.tasks)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.core.transaction import Transaction
+from repro.core.transaction import Transaction, coalesce_page_runs
 
 
 class Prefetcher:
@@ -121,16 +121,44 @@ class Prefetcher:
     # -- applying the decisions -----------------------------------------------
     def _apply(self, tx: Transaction, scores: Dict[int, float]):
         vec = self.vector
+        cfg = vec.client.system.config
+        # Read-ahead admission budget: the bytes free *before* this
+        # round's evictions. The evictions below free the just-touched
+        # window for the pages the application will fault next; handing
+        # that space to read-ahead as well admitted up to a full
+        # budget's worth of future pages (``_evict_scores`` sizes its
+        # retouch window from the *total* budget, and the max-merge
+        # carries those score-1 pages into this apply step), thrashing
+        # the pcache ahead of the synchronous access stream.
+        admit_budget = max(0, vec.pcache_budget - vec.pcache_used)
         # EvictIfZeroScore over the touched window.
         for page_idx, score in scores.items():
             if score == 0.0:
                 yield from vec.evict_page(page_idx)
         # Asynchronous pcache read-ahead for score-1 future pages that
-        # are not resident yet.
+        # are not resident yet — admitted in access order while the
+        # free budget lasts, one batched fill per contiguous page run.
         if not tx.writes:
-            for page_idx, score in scores.items():
-                if score >= 1.0:
-                    vec.prefetch_page(page_idx)
+            window = max(1, vec.pcache_budget // vec.shared.page_size) \
+                * vec.shared.elems_per_page
+            ahead = []
+            seen = set()
+            for region in tx.get_pages(tx.tail, window):
+                page_idx = region.page_idx
+                if page_idx in seen:
+                    continue
+                seen.add(page_idx)
+                if scores.get(page_idx, 0.0) < 1.0 \
+                        or page_idx in vec.frames:
+                    continue
+                page_nbytes = vec.shared.page_nbytes(page_idx)
+                if page_nbytes > admit_budget:
+                    break
+                admit_budget -= page_nbytes
+                ahead.append(region)
+            for run in coalesce_page_runs(ahead,
+                                          cfg.batch_max_pages):
+                vec.prefetch_pages([r.page_idx for r in run])
         # Ship all scores (with our node id) to the Data Organizer.
         batched: List[Tuple[int, float, int]] = [
             (page_idx, score, vec.client.node)

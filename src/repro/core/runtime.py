@@ -12,17 +12,51 @@ LabStor." Scheduling rules implemented here:
   larger ones on the high-latency pool, so latency-sensitive requests
   of other pages are never stalled behind bulk transfers;
 * the high-latency pool's core count is adjusted with load by the
-  scaling controller (LabStor-style).
+  scaling controller (LabStor-style);
+* a :class:`~repro.core.memtask.BatchTask` fans out as one *shard*
+  per involved worker FIFO. Every shard sits in its page's FIFO, so
+  tasks submitted before the batch execute first and tasks submitted
+  after it wait for the batch — the per-page read-after-write
+  guarantee holds across the batched path. The worker that pops the
+  batch's **last** shard (at which point every involved FIFO has
+  reached the batch) services the whole batch in one scache round;
+  the other shard workers block until it completes.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
-from repro.core.memtask import MemoryTask, TaskKind
+from repro.core.memtask import BatchTask
 from repro.core.scache import ScacheExecutor
-from repro.sim import Resource, Store
+from repro.sim import Event, Resource, Store
 from repro.sim.rand import spawn_seed
+
+
+class _BatchState:
+    """Coordination record for one BatchTask inside a runtime.
+
+    ``complete`` succeeds once the batch has been serviced (or failed);
+    shard workers that were not the last to arrive wait on it so later
+    tasks in their FIFOs keep ordering with the batch.
+    """
+
+    __slots__ = ("batch", "n_shards", "arrived", "complete")
+
+    def __init__(self, batch: BatchTask, n_shards: int, sim):
+        self.batch = batch
+        self.n_shards = n_shards
+        self.arrived = 0
+        self.complete = Event(sim)
+
+
+class _BatchShard:
+    """One FIFO's share of a BatchTask (placed in that page FIFO)."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: _BatchState):
+        self.state = state
 
 
 class NodeRuntime:
@@ -47,6 +81,7 @@ class NodeRuntime:
         self.high_cores = Resource(self.sim, capacity=cfg.workers_min,
                                    name=f"rt{node_id}.highcores")
         self.inflight = 0
+        self._low_streak = 0
         self._procs = [self.sim.process(self._scheduler(),
                                         name=f"rt{node_id}.sched")]
         for i, store in enumerate(self._stores):
@@ -56,7 +91,8 @@ class NodeRuntime:
             self._scaling_controller(), name=f"rt{node_id}.scale"))
 
     # -- submission -----------------------------------------------------------
-    def submit(self, task: MemoryTask) -> None:
+    def submit(self, task) -> None:
+        """Enqueue a MemoryTask or BatchTask at this runtime."""
         self.inflight += 1
         task.submit_time = self.sim.now
         self.queue.put(task)
@@ -69,12 +105,27 @@ class NodeRuntime:
     def idle(self) -> bool:
         return self.inflight == 0
 
+    def _store_idx(self, vector_name: str, page_idx: int) -> int:
+        return spawn_seed(0xBEEF, vector_name,
+                          page_idx) % len(self._stores)
+
     # -- processes ---------------------------------------------------------------
     def _scheduler(self):
         while True:
             task = yield self.queue.get()
-            idx = spawn_seed(0xBEEF, task.vector_name,
-                             task.page_idx) % len(self._stores)
+            if isinstance(task, BatchTask):
+                shards: Dict[int, None] = {}
+                for sub in task.tasks:
+                    shards[self._store_idx(task.vector_name,
+                                           sub.page_idx)] = None
+                state = _BatchState(task, len(shards), self.sim)
+                # All shard puts happen atomically (no yields), so two
+                # batches sharing FIFOs enqueue in a consistent order
+                # everywhere — shard barriers cannot deadlock.
+                for idx in shards:
+                    self._stores[idx].put(_BatchShard(state))
+                continue
+            idx = self._store_idx(task.vector_name, task.page_idx)
             self._stores[idx].put(task)
 
     def _worker(self, store: Store):
@@ -82,6 +133,17 @@ class NodeRuntime:
         tracer = self.system.tracer
         while True:
             task = yield store.get()
+            if isinstance(task, _BatchShard):
+                state = task.state
+                state.arrived += 1
+                if state.arrived < state.n_shards:
+                    # Ordering barrier: hold this FIFO until the batch
+                    # (serviced by the last-arriving shard's worker)
+                    # completes, so later same-page tasks stay ordered.
+                    yield state.complete
+                    continue
+                yield from self._run_batch(state, tracer, cfg)
+                continue
             pool = self.low_cores \
                 if task.nbytes < cfg.low_latency_threshold \
                 else self.high_cores
@@ -115,19 +177,79 @@ class NodeRuntime:
                 self.inflight -= 1
                 pool.release(req)
 
+    def _run_batch(self, state: _BatchState, tracer, cfg):
+        """Service a whole BatchTask (runs on the worker that popped
+        the batch's last shard; every involved FIFO has drained all
+        earlier tasks for the batch's pages by now)."""
+        batch = state.batch
+        pool = self.low_cores \
+            if batch.nbytes < cfg.low_latency_threshold \
+            else self.high_cores
+        req = pool.request()
+        yield req
+        if tracer.enabled:
+            tracer.record(
+                f"wait:batch:{batch.kind.value}", "rt.queue",
+                self.node_id, batch.submit_time, self.sim.now,
+                vector=batch.vector_name, count=len(batch),
+                pool="low" if pool is self.low_cores else "high")
+        try:
+            with tracer.span(f"exec:batch:{batch.kind.value}",
+                             "rt.service", node=self.node_id,
+                             vector=batch.vector_name,
+                             count=len(batch), nbytes=batch.nbytes):
+                results = yield from self.executor.execute_batch(batch)
+            if batch.done is not None:
+                batch.done.succeed(results)
+        except (GeneratorExit, KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            if batch.done is not None:
+                batch.done.fail(exc)
+            else:
+                raise
+        finally:
+            self.inflight -= 1
+            pool.release(req)
+            # Release the other shard workers only after the batch is
+            # fully serviced (read-after-write for later tasks).
+            state.complete.succeed()
+
     def _scaling_controller(self):
         """Grow the high-latency pool's core count under backlog and
-        shrink when idle (paper III-B, LabStor-style)."""
+        shrink it again on sustained low backlog (paper III-B,
+        LabStor-style)."""
         cfg = self.system.config
         while True:
             yield self.sim.timeout(cfg.organizer_period)
+            self._scale_tick()
+
+    def _scale_tick(self, backlog=None) -> None:
+        """One controller period: grow fast, shrink patiently.
+
+        Growth triggers immediately when the backlog exceeds twice the
+        pool; shrinking requires ``scale_down_periods`` *consecutive*
+        low-backlog observations (``backlog < capacity``) — requiring a
+        completely empty queue pinned the pool at ``workers_max``
+        forever under any trickle of tasks.
+        """
+        cfg = self.system.config
+        if backlog is None:
             backlog = self.backlog
-            cap = self.high_cores.capacity
-            if backlog > 2 * cap and cap < cfg.workers_max:
-                self.high_cores.set_capacity(cap + 1)
-                self.system.monitor.count(f"rt{self.node_id}.scale_up")
-            elif backlog == 0 and cap > cfg.workers_min:
+        cap = self.high_cores.capacity
+        if backlog > 2 * cap and cap < cfg.workers_max:
+            self.high_cores.set_capacity(cap + 1)
+            self._low_streak = 0
+            self.system.monitor.count(f"rt{self.node_id}.scale_up")
+        elif backlog < cap:
+            self._low_streak += 1
+            if (self._low_streak >= cfg.scale_down_periods
+                    and cap > cfg.workers_min):
                 self.high_cores.set_capacity(cap - 1)
+                self._low_streak = 0
+                self.system.monitor.count(f"rt{self.node_id}.scale_down")
+        else:
+            self._low_streak = 0
 
     # Backwards-compatible alias used by tests/stats.
     @property

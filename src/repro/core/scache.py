@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.coherence import CoherencePolicy
 from repro.core.errors import MegaMmapError
-from repro.core.memtask import MemoryTask, TaskKind
+from repro.core.memtask import BatchTask, MemoryTask, TaskKind
 from repro.core.shared import SharedVector
 from repro.hermes.blob import BlobNotFound
 
@@ -55,6 +55,31 @@ class ScacheExecutor:
             yield from self._delete(vec, task)
             return None
         raise MegaMmapError(f"unknown task kind {task.kind}")
+
+    def execute_batch(self, batch: BatchTask):
+        """Service a whole BatchTask in one scache round where the
+        kind allows it. Generator; returns per-task results in
+        ``batch.tasks`` order."""
+        vec = self.system.vectors.get(batch.vector_name)
+        if vec is None or vec.destroyed:
+            raise MegaMmapError(
+                f"batch for unknown/destroyed vector "
+                f"{batch.vector_name!r}")
+        tracer = self.system.tracer
+        if batch.kind is TaskKind.READ:
+            with tracer.span("read_batch", "scache.batch",
+                             node=self.node_id, vector=vec.name,
+                             count=len(batch)):
+                return (yield from self._read_batch(vec, batch))
+        if batch.kind is TaskKind.WRITE:
+            with tracer.span("write_batch", "scache.batch",
+                             node=self.node_id, vector=vec.name,
+                             count=len(batch), nbytes=batch.nbytes):
+                return (yield from self._write_batch(vec, batch))
+        results = []
+        for task in batch.tasks:
+            results.append((yield from self.execute(task)))
+        return results
 
     # -- page materialization ------------------------------------------------
     def ensure_page(self, vec: SharedVector, page_idx: int,
@@ -110,6 +135,91 @@ class ScacheExecutor:
                                                  page_idx)
         return info
 
+    def ensure_pages(self, vec: SharedVector, pages, client_node: int,
+                     score: float = 1.0):
+        """Materialize several pages with one stage-in round per
+        touched extent (generator; returns {page_idx: BlobInfo}).
+
+        The batched counterpart of :meth:`ensure_page`: missing pages
+        are grouped by stage-in extent, and each extent pays a single
+        lock acquisition + backend read for all of its missing pages.
+        """
+        hermes = self.system.hermes
+        infos = {}
+        missing = []
+        lookup = yield from hermes.mdm.try_get_many(
+            self.node_id, vec.name, dict.fromkeys(pages))
+        for p, info in lookup.items():
+            want = vec.page_nbytes(p)
+            if info is not None:
+                if info.nbytes < want:
+                    raw = yield from hermes.get(self.node_id, vec.name,
+                                                p)
+                    raw = raw + bytes(want - len(raw))
+                    info = yield from hermes.put(
+                        self.node_id, vec.name, p, raw,
+                        score=info.score, target_node=info.node)
+                infos[p] = info
+            else:
+                missing.append(p)
+        if not missing:
+            return infos
+        extent = max(self.system.config.stage_extent, vec.page_size)
+        per_extent = max(1, extent // vec.page_size)
+        by_extent: dict = {}
+        for p in missing:
+            by_extent.setdefault((p // per_extent) * per_extent,
+                                 []).append(p)
+        for group in by_extent.values():
+            lock = self.system.stager.extent_lock(vec, group[0])
+            yield lock.acquire()
+            try:
+                # Re-check under the lock: a concurrent fault may have
+                # created some pages (replacing them would lose writes).
+                todo = []
+                relook = yield from hermes.mdm.try_get_many(
+                    self.node_id, vec.name, group)
+                for p in group:
+                    info = relook[p]
+                    if info is not None:
+                        infos[p] = info
+                    else:
+                        todo.append(p)
+                if not todo:
+                    continue
+                with self.system.tracer.span(
+                        "stage_in_batch", "scache.batch",
+                        node=self.node_id, vector=vec.name,
+                        page=todo[0], count=len(todo)):
+                    if vec.volatile:
+                        staged = [(p, bytes(vec.page_nbytes(p)))
+                                  for p in todo]
+                    else:
+                        staged = yield from \
+                            self.system.stager.stage_in_extent(
+                                vec, todo[0], self.node_id)
+                    want_pages = set(todo)
+                    to_put = []
+                    for p, raw in staged:
+                        if p not in want_pages and hermes.mdm.peek(
+                                vec.name, p) is not None:
+                            continue
+                        to_put.append(
+                            (p, raw, vec.owner_node(p, client_node)))
+                    put_infos = yield from hermes.put_many(
+                        self.node_id, vec.name, to_put, score=score)
+                    for p in want_pages:
+                        if p in put_infos:
+                            infos[p] = put_infos[p]
+            finally:
+                lock.release()
+            for p in group:
+                if p not in infos:
+                    # A concurrent fault published the page meanwhile.
+                    infos[p] = yield from hermes.mdm.try_get(
+                        self.node_id, vec.name, p)
+        return infos
+
     # -- reads ----------------------------------------------------------------
     def _read(self, vec: SharedVector, task: MemoryTask):
         hermes = self.system.hermes
@@ -126,11 +236,15 @@ class ScacheExecutor:
             off, size = task.region
             return raw[off:off + size]
         yield from self.ensure_page(vec, task.page_idx, task.client_node)
+        page_nbytes = vec.page_nbytes(task.page_idx)
+        # Replicate only for reads covering exactly [0, page_nbytes):
+        # the old predicate (``region[1] >= page_nbytes``) also fired
+        # for offset regions, returning a slice from offset 0 — a
+        # short/shifted result for the caller's [off, off+size) ask.
+        whole = task.region is None or task.region == (0, page_nbytes)
         replicate = (vec.policy is CoherencePolicy.READ_ONLY_GLOBAL
-                     and task.client_node != self.node_id)
-        if replicate and (task.region is None
-                          or task.region[1] >= vec.page_nbytes(
-                              task.page_idx)):
+                     and task.client_node != self.node_id and whole)
+        if replicate:
             raw = yield from hermes.replicate(task.client_node, vec.name,
                                               task.page_idx)
             if self.system.config.integrity_checks \
@@ -149,8 +263,6 @@ class ScacheExecutor:
             off, size = task.region
             return raw[off:off + size]
         self.system.monitor.count("scache.reads")
-        page_nbytes = vec.page_nbytes(task.page_idx)
-        whole = task.region is None or task.region == (0, page_nbytes)
         if whole:
             raw = yield from hermes.get(task.client_node, vec.name,
                                         task.page_idx)
@@ -166,6 +278,51 @@ class ScacheExecutor:
         off, size = task.region
         return (yield from hermes.get_partial(
             task.client_node, vec.name, task.page_idx, off, size))
+
+    def _read_batch(self, vec: SharedVector, batch: BatchTask):
+        """Serve a READ batch: healthy whole-page reads share one
+        extent-granular stage-in round and one vectored hermes get;
+        the special cases (failed primaries, replication, partial
+        regions) fall back to the per-task path, which already handles
+        them — results are identical either way."""
+        hermes = self.system.hermes
+        rel = self.system.reliability
+        results: list = [None] * len(batch.tasks)
+        bulk = []
+        for i, task in enumerate(batch.tasks):
+            info = hermes.mdm.peek(vec.name, task.page_idx)
+            failed = info is not None and (
+                info.node < 0 or info.node in rel.failed_nodes)
+            page_nbytes = vec.page_nbytes(task.page_idx)
+            whole = (task.region is None
+                     or task.region == (0, page_nbytes))
+            replicate = (vec.policy is CoherencePolicy.READ_ONLY_GLOBAL
+                         and task.client_node != self.node_id and whole)
+            if failed or replicate or not whole:
+                results[i] = yield from self._read(vec, task)
+            else:
+                bulk.append(i)
+        if not bulk:
+            return results
+        pages = list(dict.fromkeys(
+            batch.tasks[i].page_idx for i in bulk))
+        yield from self.ensure_pages(vec, pages, batch.client_node)
+        raws = yield from hermes.get_many(batch.client_node, vec.name,
+                                          pages)
+        for i in bulk:
+            task = batch.tasks[i]
+            raw = raws[task.page_idx]
+            if self.system.config.integrity_checks \
+                    and not rel.verify(vec.name, task.page_idx, raw):
+                self.system.monitor.count("reliability.corruptions")
+                raw = yield from rel.recover_page(vec, task.page_idx,
+                                                  task.client_node)
+            self.system.monitor.count("scache.reads")
+            if task.region is None:
+                results[i] = raw
+            else:
+                results[i] = raw[:task.region[1]]
+        return results
 
     # -- writes ----------------------------------------------------------------
     def _write(self, vec: SharedVector, task: MemoryTask):
@@ -198,12 +355,18 @@ class ScacheExecutor:
                         f"of {page_nbytes} bytes")
                 yield from hermes.put_partial(
                     self.node_id, vec.name, task.page_idx, off, data)
+        self._post_write(vec, task)
+        return None
+
+    def _post_write(self, vec: SharedVector, task: MemoryTask) -> None:
+        """Bookkeeping shared by the per-task and batched write paths:
+        dirty/replica tracking, integrity records, durability copies."""
         vec.dirty_pages.add(task.page_idx)
         vec.replicated_pages.discard(task.page_idx)
         self.system.monitor.count("scache.writes")
         rel = self.system.reliability
         if self.system.config.integrity_checks or rel.enabled:
-            info = hermes.mdm.peek(vec.name, task.page_idx)
+            info = self.system.hermes.mdm.peek(vec.name, task.page_idx)
             if info is not None and info.node >= 0:
                 dev = self.system.dmshs[info.node].tier(info.tier)
                 if (vec.name, task.page_idx) in dev:
@@ -215,7 +378,57 @@ class ScacheExecutor:
             self.sim.process(
                 rel.replicate_page(vec, task.page_idx),
                 name=f"replicate {vec.name}[{task.page_idx}]")
-        return None
+
+    def _write_batch(self, vec: SharedVector, batch: BatchTask):
+        """Serve a WRITE batch.
+
+        Fresh whole-page writes (write-allocate) go out as **one**
+        vectored hermes put — one payload transfer per destination
+        node, one metadata round per owner shard. Pages needing
+        read-modify-write are materialized with one stage-in round per
+        extent up front, then each such task applies its fragments
+        exactly as the per-task path would (same dirty/replica
+        bookkeeping, same final bytes)."""
+        hermes = self.system.hermes
+        score = 0.5 if vec.policy in (
+            CoherencePolicy.WRITE_ONLY_GLOBAL,
+            CoherencePolicy.APPEND_ONLY_GLOBAL) else 1.0
+        pages = [task.page_idx for task in batch.tasks]
+        if len(set(pages)) != len(pages):
+            # Two tasks touch one page: apply strictly in task order
+            # via the per-task path so later fragments win.
+            results = []
+            for task in batch.tasks:
+                results.append((yield from self._write(vec, task)))
+            return results
+        lookup = yield from hermes.mdm.try_get_many(
+            self.node_id, vec.name, pages)
+        bulk, rest, need = [], [], []
+        for task in batch.tasks:
+            page_nbytes = vec.page_nbytes(task.page_idx)
+            whole_page = (len(task.fragments) == 1
+                          and task.fragments[0][0] == 0
+                          and len(task.fragments[0][1]) == page_nbytes)
+            if whole_page and lookup.get(task.page_idx) is None:
+                bulk.append(task)
+            else:
+                rest.append(task)
+                if not whole_page:
+                    need.append(task.page_idx)
+        if need:
+            yield from self.ensure_pages(vec, need, batch.client_node,
+                                         score=score)
+        if bulk:
+            items = [(task.page_idx, task.fragments[0][1],
+                      vec.owner_node(task.page_idx, task.client_node))
+                     for task in bulk]
+            yield from hermes.put_many(self.node_id, vec.name, items,
+                                       score=score)
+            for task in bulk:
+                self._post_write(vec, task)
+        for task in rest:
+            yield from self._write(vec, task)
+        return [None] * len(batch.tasks)
 
     def _delete(self, vec: SharedVector, task: MemoryTask):
         try:

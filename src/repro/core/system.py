@@ -42,6 +42,8 @@ class MegaMmapSystem:
         self.tracer = tracer or Tracer(sim)
         self.monitor.tracer = self.tracer
         network.tracer = self.tracer
+        if network.monitor is None:
+            network.monitor = self.monitor
         self.memcpy_bw = dmshs[0].tiers[0].spec.read_bw
         self.hermes = Hermes(sim, network, dmshs,
                              policy=MinimizeIoTime(),

@@ -53,6 +53,28 @@ class PageRegion:
     modified: bool = False
 
 
+def coalesce_page_runs(regions: List[PageRegion],
+                       max_run: Optional[int] = None,
+                       ) -> List[List[PageRegion]]:
+    """Group page regions into runs of contiguous pages (kept in
+    order).
+
+    The fault-coalescing primitive of the batched page-operation
+    pipeline: each run maps onto one extent-granular batch — a single
+    stage-in round at the scache and one vectored RPC per owner node,
+    instead of a round trip per page. ``max_run`` caps run length (the
+    ``batch_max_pages`` knob).
+    """
+    runs: List[List[PageRegion]] = []
+    for region in regions:
+        if (runs and region.page_idx == runs[-1][-1].page_idx + 1
+                and (max_run is None or len(runs[-1]) < max_run)):
+            runs[-1].append(region)
+        else:
+            runs.append([region])
+    return runs
+
+
 class Transaction:
     """Base class: an ordered sequence of element accesses.
 

@@ -291,16 +291,46 @@ class Vector:
 
     def read_range(self, elem_off: int, count: int):
         """Read ``count`` elements starting at ``elem_off`` (generator;
-        returns a private copy)."""
+        returns a private copy).
+
+        Multi-page reads coalesce their page faults: the missing
+        regions of a wave of pages ship as one batched submission
+        (fault coalescing), paying one vectored RPC per owner node
+        instead of one round trip per page. Collective reads and
+        ``batching_enabled=False`` keep the per-page path.
+        """
         self._check_range(elem_off, count)
         out = np.empty(count, dtype=self.dtype)
-        for page_idx, poff, n, doff in self._page_spans(elem_off, count):
-            byte_off = poff * self.itemsize
-            nbytes = n * self.itemsize
-            frame = yield from self._fault(page_idx,
-                                           (byte_off, nbytes))
-            out[doff:doff + n] = frame.data[
-                byte_off:byte_off + nbytes].view(self.dtype)
+        spans = list(self._page_spans(elem_off, count))
+        cfg = self.client.system.config
+        collective = (self.tx is not None and self.tx.is_collective
+                      and not self.tx.writes)
+        if not cfg.batching_enabled or len(spans) == 1 or collective:
+            for page_idx, poff, n, doff in spans:
+                byte_off = poff * self.itemsize
+                nbytes = n * self.itemsize
+                frame = yield from self._fault(page_idx,
+                                               (byte_off, nbytes))
+                out[doff:doff + n] = frame.data[
+                    byte_off:byte_off + nbytes].view(self.dtype)
+            return out
+        # Wave size: the batch cap, and never more pages than fit the
+        # pcache budget at once (frames of the current wave are exempt
+        # from eviction, so an unbounded wave could overcommit).
+        budget_pages = max(1, self.pcache_budget
+                           // self.shared.page_size)
+        wave_cap = max(1, min(cfg.batch_max_pages, budget_pages))
+        for lo in range(0, len(spans), wave_cap):
+            wave = spans[lo:lo + wave_cap]
+            frames = yield from self._fault_wave(
+                [(p, poff * self.itemsize, n * self.itemsize)
+                 for p, poff, n, _ in wave])
+            # Copy out before the next wave may evict these frames.
+            for page_idx, poff, n, doff in wave:
+                byte_off = poff * self.itemsize
+                nbytes = n * self.itemsize
+                out[doff:doff + n] = frames[page_idx].data[
+                    byte_off:byte_off + nbytes].view(self.dtype)
         return out
 
     def write_range(self, elem_off: int, array: np.ndarray):
@@ -391,11 +421,13 @@ class Vector:
                 page_idx, off, size, page_nbytes, allocate_only, sp)
         return frame
 
-    def _fault_timed(self, page_idx: int, off: int, size: int,
-                     page_nbytes: int, allocate_only: bool, sp):
+    def _ensure_frame(self, page_idx: int, page_nbytes: int,
+                      exclude: Tuple[int, ...] = ()):
+        """Allocate (or grow) the pcache frame for ``page_idx``,
+        evicting LRU frames as needed. Generator; returns the Frame."""
         frame = self._lookup(page_idx)
         if frame is None:
-            yield from self._make_room(page_nbytes)
+            yield from self._make_room(page_nbytes, exclude=exclude)
             frame = Frame(page_nbytes)
             self.frames[page_idx] = frame
             self.client.reserve_pcache(page_nbytes)
@@ -406,13 +438,19 @@ class Vector:
             # allocation (the growing frame itself is exempt from
             # eviction).
             delta = page_nbytes - len(frame.data)
-            yield from self._make_room(delta, exclude=(page_idx,))
+            yield from self._make_room(
+                delta, exclude=(page_idx,) + tuple(exclude))
             grown = np.zeros(page_nbytes, dtype=np.uint8)
             grown[:len(frame.data)] = frame.data
             frame.data = grown
             self.client.reserve_pcache(delta)
             self._reserved += delta
         self._touch(page_idx, frame)
+        return frame
+
+    def _fault_timed(self, page_idx: int, off: int, size: int,
+                     page_nbytes: int, allocate_only: bool, sp):
+        frame = yield from self._ensure_frame(page_idx, page_nbytes)
         if frame.pending is not None and not frame.pending.processed:
             yield frame.pending
         if allocate_only:
@@ -459,6 +497,49 @@ class Vector:
         for s, e, buf in saved:
             frame.data[s:e] = buf
         frame.valid.add(start, end)
+
+    def _fault_wave(self, regions):
+        """Fault one wave of page regions with a single batched READ
+        submission (generator; returns {page_idx: Frame}).
+
+        ``regions`` is [(page_idx, byte_off, nbytes), ...]. Frames of
+        the wave are protected from evicting each other; the caller
+        must copy data out before starting another wave.
+        """
+        exclude = tuple(p for p, _, _ in regions)
+        frames: Dict[int, Frame] = {}
+        tasks = []
+        installs = []
+        tracer = self.client.system.tracer
+        for page_idx, off, size in regions:
+            page_nbytes = self.shared.page_nbytes(page_idx)
+            if off < 0 or off + size > page_nbytes:
+                raise VectorError(
+                    f"region [{off}, {off + size}) outside page of "
+                    f"{page_nbytes} bytes")
+            frame = yield from self._ensure_frame(page_idx, page_nbytes,
+                                                  exclude=exclude)
+            if frame.pending is not None and not frame.pending.processed:
+                yield frame.pending
+            frames[page_idx] = frame
+            for m_start, m_end in self._missing(frame, off, off + size):
+                self.client.system.monitor.count("pcache.faults")
+                tasks.append(MemoryTask(
+                    kind=TaskKind.READ, vector_name=self.shared.name,
+                    page_idx=page_idx, client_node=self.client.node,
+                    region=(m_start, m_end - m_start)))
+                installs.append((frame, m_start))
+        if tasks:
+            with tracer.span("fault_batch", "pcache",
+                             node=self.client.node,
+                             vector=self.shared.name, count=len(tasks),
+                             nbytes=sum(t.region[1] for t in tasks)):
+                raws = yield from self.client.submit_batch(tasks,
+                                                           wait=True)
+            for (frame, m_start), raw in zip(installs, raws):
+                # Do not clobber locally dirty bytes with stale data.
+                self._install(frame, m_start, raw)
+        return frames
 
     def _make_room(self, nbytes: Optional[int] = None,
                    exclude: Tuple[int, ...] = ()):
@@ -518,25 +599,72 @@ class Vector:
 
     def prefetch_page(self, page_idx: int) -> None:
         """Start an asynchronous pcache fill (non-blocking)."""
-        if page_idx >= self.shared.n_pages or page_idx in self.frames:
-            return
-        # Budget-check the bytes this page actually occupies: the tail
-        # page is smaller than a nominal page, and testing with
-        # ``page_size`` both refused prefetches that fit and (were a
-        # frame ever larger) would over-commit the budget.
-        page_nbytes = self.shared.page_nbytes(page_idx)
-        if self.pcache_used + page_nbytes > self.pcache_budget:
-            return
-        frame = Frame(page_nbytes)
-        self.frames[page_idx] = frame
-        self.client.reserve_pcache(page_nbytes)
-        self._reserved += page_nbytes
-        self._touch(page_idx, frame)
-        task = MemoryTask(
-            kind=TaskKind.READ, vector_name=self.shared.name,
-            page_idx=page_idx, client_node=self.client.node,
-            region=(0, page_nbytes))
+        self.prefetch_pages([page_idx])
 
+    def prefetch_pages(self, pages) -> None:
+        """Start asynchronous pcache fills for several pages
+        (non-blocking).
+
+        Admission is per page — already-resident, out-of-range, and
+        over-budget pages are skipped. With batching enabled the
+        admitted pages ship as one batched READ submission (one fill
+        process, one vectored RPC per owner); otherwise each page gets
+        its own fill process, as before.
+        """
+        admitted = []
+        for page_idx in pages:
+            if page_idx >= self.shared.n_pages \
+                    or page_idx in self.frames:
+                continue
+            # Budget-check the bytes this page actually occupies: the
+            # tail page is smaller than a nominal page, and testing
+            # with ``page_size`` both refused prefetches that fit and
+            # (were a frame ever larger) would over-commit the budget.
+            page_nbytes = self.shared.page_nbytes(page_idx)
+            if self.pcache_used + page_nbytes > self.pcache_budget:
+                continue
+            frame = Frame(page_nbytes)
+            self.frames[page_idx] = frame
+            self.client.reserve_pcache(page_nbytes)
+            self._reserved += page_nbytes
+            self._touch(page_idx, frame)
+            task = MemoryTask(
+                kind=TaskKind.READ, vector_name=self.shared.name,
+                page_idx=page_idx, client_node=self.client.node,
+                region=(0, page_nbytes))
+            admitted.append((page_idx, frame, task, page_nbytes))
+        if not admitted:
+            return
+        cfg = self.client.system.config
+        if not cfg.batching_enabled or len(admitted) == 1:
+            for page_idx, frame, task, page_nbytes in admitted:
+                self._spawn_fill(page_idx, frame, task, page_nbytes)
+            return
+
+        def fill_batch():
+            tracer = self.client.system.tracer
+            with tracer.span("prefetch_batch", "pcache",
+                             node=self.client.node,
+                             vector=self.shared.name,
+                             count=len(admitted),
+                             nbytes=sum(n for _, _, _, n in admitted)):
+                raws = yield from self.client.submit_batch(
+                    [t for _, _, t, _ in admitted], wait=True)
+                for (page_idx, frame, _t, _n), raw in zip(admitted,
+                                                          raws):
+                    if self.frames.get(page_idx) is frame:
+                        self._install(frame, 0, raw)
+                    frame.pending = None
+                    self.client.system.monitor.count("pcache.prefetches")
+
+        proc = self.client.system.sim.process(
+            fill_batch(),
+            name=f"prefetch {self.shared.name}x{len(admitted)}")
+        for _page_idx, frame, _task, _nbytes in admitted:
+            frame.pending = proc
+
+    def _spawn_fill(self, page_idx: int, frame: Frame,
+                    task: MemoryTask, page_nbytes: int) -> None:
         def fill():
             tracer = self.client.system.tracer
             with tracer.span("prefetch", "pcache",
@@ -561,6 +689,7 @@ class Vector:
         executed (visibility to every process guaranteed regardless of
         worker queueing).
         """
+        tasks = []
         for page_idx in sorted(self.frames):
             frame = self.frames[page_idx]
             if not frame.dirty:
@@ -572,12 +701,15 @@ class Vector:
             nbytes = sum(len(d) for _, d in fragments)
             yield self.client.system.sim.timeout(
                 nbytes / self.client.system.memcpy_bw)
-            task = MemoryTask(
+            tasks.append(MemoryTask(
                 kind=TaskKind.WRITE, vector_name=self.shared.name,
                 page_idx=page_idx, client_node=self.client.node,
-                fragments=fragments)
-            yield from self.client.submit(task, wait=False)
+                fragments=fragments))
             frame.dirty.clear()
+        if tasks:
+            # One batched submission per owner node (degrades to
+            # per-task submits when batching is disabled).
+            yield from self.client.submit_batch(tasks, wait=False)
         if wait:
             yield from self.client.drain()
 

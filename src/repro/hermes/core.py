@@ -189,6 +189,66 @@ class Hermes:
             self.monitor.count("hermes.puts")
         return info
 
+    def put_many(self, client_node: int, bucket: str, items,
+                 score: float = 1.0):
+        """Vectored whole-blob store (the batched write path's data
+        plane).
+
+        ``items`` is an iterable of ``(key, data, target_node)``. Each
+        blob is placed on its device individually (the device time is
+        real either way), but the payloads cross the network in **one
+        transfer per destination node** and the metadata lookups and
+        publishes go out as one batched RPC per owner shard instead of
+        one round trip per blob. Generator; returns ``{key: BlobInfo}``.
+        """
+        items = [(key, bytes(data), node) for key, data, node in items]
+        if not items:
+            return {}
+        # One vectored metadata lookup round for the whole batch; the
+        # authoritative per-blob re-checks under the locks below are
+        # untimed — their wire cost is folded into this round.
+        yield from self.mdm.try_get_many(client_node, bucket,
+                                         [k for k, _, _ in items])
+        by_dst: dict = {}
+        for _key, data, node in items:
+            by_dst[node] = by_dst.get(node, 0) + len(data)
+        for node, nbytes in by_dst.items():
+            yield from self.network.transfer(client_node, node, nbytes)
+        out = {}
+        new_infos = []
+        for key, data, node in items:
+            lock = self._lock(bucket, key)
+            yield lock.acquire()
+            try:
+                info = self.mdm.peek(bucket, key)
+                if info is not None and info.node == node \
+                        and info.nbytes == len(data):
+                    # In-place update of the authoritative copy.
+                    dev = self._device(info.node, info.tier)
+                    yield from dev.put((bucket, key), data)
+                    info.score = max(info.score, score)
+                    out[key] = info
+                    continue
+                if info is not None:
+                    yield from self.mdm.delete(client_node, bucket, key)
+                    yield from self._drop_all_copies(info)
+                dev = yield from self._put_with_retry(
+                    node, (bucket, key), data, score)
+                info = BlobInfo(bucket=bucket, key=key, node=node,
+                                tier=dev.spec.kind, nbytes=len(data),
+                                score=score)
+                new_infos.append(info)
+                out[key] = info
+                if self.monitor is not None:
+                    self.monitor.count("hermes.puts")
+            finally:
+                lock.release()
+        if new_infos:
+            yield from self.mdm.put_many(client_node, new_infos)
+        if self.monitor is not None:
+            self.monitor.count("hermes.vectored_puts")
+        return out
+
     def put_partial(self, client_node: int, bucket: str, key,
                     offset: int, data):
         """Update a byte range inside an existing blob (partial paging:
@@ -229,6 +289,43 @@ class Hermes:
         if self.monitor is not None:
             self.monitor.count("hermes.gets")
         return raw
+
+    def get_many(self, client_node: int, bucket: str, keys):
+        """Vectored whole-blob fetch (the batched read path's data
+        plane).
+
+        Each blob is read from its device individually (the device
+        time is real either way), but the payloads travel to
+        ``client_node`` in **one network transfer per source node**
+        instead of one per blob — the transfer batching that makes
+        multi-page scache reads cheap. Generator; returns
+        ``{key: bytes}``.
+        """
+        keys = list(keys)
+        # Warm the client's metadata cache with one batched RPC per
+        # owner shard; the per-key lookups below then hit the cache.
+        yield from self.mdm.try_get_many(client_node, bucket, keys)
+        out = {}
+        by_src: dict = {}
+        for key in keys:
+            lock = self._lock(bucket, key)
+            yield lock.acquire()
+            try:
+                info = yield from self.mdm.get(client_node, bucket, key)
+                node, tier = self._nearest_copy(info, client_node)
+                dev = self._device(node, tier)
+                raw = yield from dev.get((bucket, key))
+            finally:
+                lock.release()
+            out[key] = raw
+            by_src[node] = by_src.get(node, 0) + len(raw)
+            if self.monitor is not None:
+                self.monitor.count("hermes.gets")
+        for node, nbytes in by_src.items():
+            yield from self.network.transfer(node, client_node, nbytes)
+        if self.monitor is not None and out:
+            self.monitor.count("hermes.vectored_gets")
+        return out
 
     def get_partial(self, client_node: int, bucket: str, key,
                     offset: int, nbytes: int):

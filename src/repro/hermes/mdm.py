@@ -18,6 +18,8 @@ from repro.sim import Simulator
 
 #: Wire size charged per metadata RPC (request + response envelope).
 MDM_RPC_BYTES = 256
+#: Extra wire bytes per additional entry in a vectored metadata RPC.
+MDM_ITEM_BYTES = 32
 
 
 def _stable_hash(bucket: str, key: object) -> int:
@@ -90,6 +92,56 @@ class MetadataManager:
         info = self._get_local(owner, bucket, key)
         self._caches[client_node][(bucket, key)] = info
         return info
+
+    def _rpc_batched(self, client_node: int, owner: int, n_items: int):
+        """One metadata round trip carrying ``n_items`` entries."""
+        if client_node == owner:
+            return
+        self.rpcs += 1
+        nbytes = MDM_RPC_BYTES + MDM_ITEM_BYTES * max(0, n_items - 1)
+        yield from self.network.transfer(client_node, owner, nbytes)
+        yield from self.network.transfer(owner, client_node, nbytes)
+
+    def put_many(self, client_node: int, infos):
+        """Vectored :meth:`put`: one batched RPC per remote owner
+        shard instead of one round trip per entry. Generator."""
+        owners: Dict[int, int] = {}
+        for info in infos:
+            owner = self.owner_of(info.bucket, info.key)
+            if owner != client_node:
+                owners[owner] = owners.get(owner, 0) + 1
+        for owner, n in owners.items():
+            yield from self._rpc_batched(client_node, owner, n)
+        for info in infos:
+            owner = self.owner_of(info.bucket, info.key)
+            self._shards[owner][(info.bucket, info.key)] = info
+            self._caches[client_node][(info.bucket, info.key)] = info
+
+    def try_get_many(self, client_node: int, bucket: str, keys):
+        """Vectored :meth:`try_get`: cache-missed keys cost one
+        batched RPC per remote owner shard. Generator; returns
+        ``{key: Optional[BlobInfo]}`` (absent keys map to None)."""
+        out: Dict[object, Optional[BlobInfo]] = {}
+        owners: Dict[int, int] = {}
+        misses = []
+        for key in dict.fromkeys(keys):
+            hit = self._cached(client_node, bucket, key)
+            if hit is not None:
+                out[key] = hit
+                continue
+            misses.append(key)
+            owner = self.owner_of(bucket, key)
+            if owner != client_node:
+                owners[owner] = owners.get(owner, 0) + 1
+        for owner, n in owners.items():
+            yield from self._rpc_batched(client_node, owner, n)
+        for key in misses:
+            owner = self.owner_of(bucket, key)
+            info = self._shards[owner].get((bucket, key))
+            if info is not None:
+                self._caches[client_node][(bucket, key)] = info
+            out[key] = info
+        return out
 
     def try_get(self, client_node: int, bucket: str, key: object):
         """Like :meth:`get` but returns None instead of raising."""

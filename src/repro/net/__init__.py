@@ -8,6 +8,7 @@ incast/fan-out contention emerges naturally.
 """
 
 from repro.net.fabric import LinkSpec, Network
-from repro.net.message import Mailbox, Message
+from repro.net.message import Mailbox, Message, batched_nbytes
 
-__all__ = ["LinkSpec", "Mailbox", "Message", "Network"]
+__all__ = ["LinkSpec", "Mailbox", "Message", "Network",
+           "batched_nbytes"]

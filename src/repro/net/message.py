@@ -17,6 +17,27 @@ from repro.sim import Event, Simulator
 ANY_SOURCE = -1
 ANY_TAG = -1
 
+#: Wire size of a request envelope (task metadata without payload).
+ENVELOPE = 128
+#: Per-item header inside a vectored (batched) envelope: page index,
+#: region bounds, fragment table — far smaller than a full envelope.
+ITEM_HEADER = 32
+
+
+def batched_nbytes(payload_sizes, envelope: int = ENVELOPE,
+                   header: int = ITEM_HEADER) -> int:
+    """Wire size of one vectored request carrying several operations.
+
+    A batch pays one ``envelope`` plus a small ``header`` per item
+    (instead of a full envelope per item), then the item payloads
+    back-to-back — the framing MegaMmap's batched task submission and
+    UMap-style multi-page fill/evict RPCs use.
+    """
+    total = envelope
+    for size in payload_sizes:
+        total += header + size
+    return total
+
 
 @dataclass
 class Message:

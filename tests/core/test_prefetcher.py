@@ -111,6 +111,32 @@ def test_prefetcher_acknowledges_head(dsm):
     run_procs(sim, app())
 
 
+def test_read_ahead_bounded_by_free_budget_not_total(dsm):
+    """Regression: ``_evict_scores`` sizes its retouch window from the
+    *total* pcache budget; those score-1 pages max-merged into the
+    apply step, which prefetched every one of them — consuming the
+    space the evictions just freed for the synchronous access stream.
+    Read-ahead must be bounded by the bytes actually free before the
+    evictions run."""
+    sim, system = dsm
+    tx = SeqTx(0, 16 * EPP, MM_READ_ONLY)
+    vec = _vector_with_tx(sim, system, 16 * EPP, budget_pages=4, tx=tx)
+
+    def app():
+        # Pages 0 and 1 resident (just touched) -> 2 of 4 budget pages
+        # free when the acknowledgment fires.
+        yield from vec.read_range(0, 2 * EPP)
+        tx.advance(2 * EPP)
+        yield from vec.prefetcher.on_advance(tx)
+        return set(vec.frames)
+
+    (resident,) = run_procs(sim, app())
+    # Old behaviour admitted the whole retouch window {2, 3, 4, 5}
+    # (4 pages — a full budget) because the evictions of 0 and 1 freed
+    # space mid-apply. Only the 2 actually-free pages may be admitted.
+    assert resident == {2, 3}
+
+
 def test_disabled_prefetcher_still_acknowledges():
     sim, system = build_system(prefetch_enabled=False)
     client = system.client(rank=0, node=0)

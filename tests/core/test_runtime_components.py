@@ -61,6 +61,47 @@ def test_dynamic_core_scaling_grows_under_load():
     assert system.monitor.counter("rt0.scale_up") > 0
 
 
+def test_scaling_controller_shrinks_on_sustained_low_backlog():
+    """Regression: the controller only shrank the high-latency pool
+    when the backlog was *exactly zero*, so any trickle of tasks
+    pinned it at ``workers_max`` forever. It must shrink after
+    ``scale_down_periods`` consecutive low-backlog (< capacity)
+    observations — and a burst in between must reset the streak."""
+    sim, system = build_system(scale_down_periods=3)
+    rt = system.runtimes[0]
+    cfg = system.config
+
+    # Grow to the max under heavy backlog.
+    while rt.high_cores.capacity < cfg.workers_max:
+        rt._scale_tick(backlog=2 * rt.high_cores.capacity + 1)
+    assert rt.high_cores.capacity == cfg.workers_max
+    assert system.monitor.counter("rt0.scale_up") > 0
+
+    # A nonzero trickle (backlog 1 < capacity) for N periods shrinks.
+    for _ in range(cfg.scale_down_periods - 1):
+        rt._scale_tick(backlog=1)
+    assert rt.high_cores.capacity == cfg.workers_max  # not yet
+    rt._scale_tick(backlog=1)
+    assert rt.high_cores.capacity == cfg.workers_max - 1
+    assert system.monitor.counter("rt0.scale_down") == 1
+
+    # A medium burst (capacity <= backlog <= 2*capacity) resets the
+    # streak without growing.
+    rt._scale_tick(backlog=1)
+    rt._scale_tick(backlog=1)
+    rt._scale_tick(backlog=rt.high_cores.capacity + 1)
+    rt._scale_tick(backlog=1)
+    rt._scale_tick(backlog=1)
+    assert rt.high_cores.capacity == cfg.workers_max - 1  # streak reset
+    rt._scale_tick(backlog=1)
+    assert rt.high_cores.capacity == cfg.workers_max - 2
+
+    # Sustained idleness bottoms out at workers_min, never below.
+    for _ in range(10 * cfg.scale_down_periods):
+        rt._scale_tick(backlog=0)
+    assert rt.high_cores.capacity == cfg.workers_min
+
+
 def test_failed_task_propagates_to_waiter(dsm):
     sim, system = dsm
     client = system.client(rank=0, node=0)

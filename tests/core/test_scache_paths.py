@@ -99,6 +99,56 @@ def test_flush_task_kind_persists_one_page(tmp_path):
     assert np.all(on_disk[:4096] == 1)
 
 
+def test_replica_fast_path_requires_whole_page_region(dsm):
+    """Regression: under READ_ONLY_GLOBAL the replica fast-path
+    predicate was ``region[1] >= page_nbytes``, which also fired for
+    offset regions — silently returning a slice from ``off`` truncated
+    at the page end (short *and* shifted) instead of treating the
+    region as partial. The tightened predicate routes any region that
+    is not exactly ``(0, page_nbytes)`` to the partial-read path,
+    which validates bounds loudly."""
+    sim, system = dsm
+    client = system.client(rank=0, node=0)
+
+    def app():
+        vec = yield from client.vector("rg", dtype=np.uint8, size=4096)
+        yield from vec.tx_begin(SeqTx(0, 4096, MM_WRITE_ONLY))
+        yield from vec.write_range(
+            0, (np.arange(4096) % 251).astype(np.uint8))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        # Enter a read-only phase so the replica fast path is armed.
+        yield from vec.tx_begin(SeqTx(0, 4096, MM_READ_ONLY))
+        # A remote client's offset region with a degenerate size
+        # (off > 0, size = page size): the old predicate sent this to
+        # the replicate path, silently returning 3996 shifted bytes.
+        owner = vec.shared.owner_node(0, 0)
+        remote = 1 - owner
+        bad = MemoryTask(kind=TaskKind.READ, vector_name="rg",
+                         page_idx=0, client_node=remote,
+                         region=(100, 4096))
+        try:
+            yield from system.runtimes[owner].executor.execute(bad)
+        except IndexError:
+            outcome = "error"
+        else:
+            outcome = "silent"
+        # A *valid* offset region must return exactly the asked bytes
+        # (not page-start bytes) on the same path.
+        ok = MemoryTask(kind=TaskKind.READ, vector_name="rg",
+                        page_idx=0, client_node=remote,
+                        region=(100, 64))
+        raw = yield from system.runtimes[owner].executor.execute(ok)
+        yield from vec.tx_end()
+        return outcome, raw
+
+    (res,) = run_procs(sim, app())
+    outcome, raw = res
+    assert outcome == "error"      # old code: "silent" wrong data
+    assert len(raw) == 64
+    assert raw == bytes((np.arange(100, 164) % 251).astype(np.uint8))
+
+
 def test_task_for_destroyed_vector_fails(dsm):
     sim, system = dsm
     client = system.client(rank=0, node=0)

@@ -14,8 +14,14 @@ PAGE = 4096
 
 def _traced_workload():
     """Writer on node 0, reader on node 1 → remote faults with network
-    transfers; returns (sim, system) after the run."""
-    sim, system = build_system()
+    transfers; returns (sim, system) after the run.
+
+    Batching is disabled: these tests pin down the *per-task* span
+    decomposition (fault → rpc → queue wait → service → scache); the
+    batched pipeline has its own categories (``rpc.batch``,
+    ``scache.batch``) covered by test_batching.py.
+    """
+    sim, system = build_system(batching_enabled=False)
     system.tracer.enabled = True
     c0 = system.client(rank=0, node=0)
     c1 = system.client(rank=1, node=1)
