@@ -11,7 +11,8 @@ import numpy as np
 import pytest
 
 from repro.core import MM_READ_ONLY, MM_READ_WRITE, MM_WRITE_ONLY, SeqTx
-from benchmarks.common import print_table, testbed, write_csv
+from benchmarks.common import emit_result, print_table, testbed, \
+    write_csv
 
 N = 64 * 1024  # float64 = 512 KB, a few pages per node
 
@@ -71,3 +72,6 @@ def test_ablation_coherence(benchmark):
     assert rw["replications"] == 0
     # ...and repeated global reads are no slower with it.
     assert ro["runtime_s"] <= rw["runtime_s"] * 1.05
+    emit_result("ablation_coherence", "coherence.ro_speedup",
+                rw["runtime_s"] / max(ro["runtime_s"], 1e-9), "x",
+                dict(n_nodes=4, elements=N))

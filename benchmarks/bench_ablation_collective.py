@@ -12,7 +12,8 @@ import numpy as np
 import pytest
 
 from repro.core import MM_COLLECTIVE, MM_READ_ONLY, MM_WRITE_ONLY, SeqTx
-from benchmarks.common import print_table, testbed, write_csv
+from benchmarks.common import emit_result, print_table, testbed, \
+    write_csv
 
 N = 256 * 1024  # float64 = 2 MB, broadcast to every process
 
@@ -72,3 +73,6 @@ def test_ablation_collective(benchmark):
     # The collective pattern dedupes scache fetches into forwards...
     assert coll["scache_reads"] < indep["scache_reads"]
     assert coll["forwards"] > 0 and indep["forwards"] == 0
+    emit_result("ablation_collective", "collective.scache_read_ratio",
+                indep["scache_reads"] / max(1, coll["scache_reads"]),
+                "x", dict(n_nodes=4, procs_per_node=2, elements=N))

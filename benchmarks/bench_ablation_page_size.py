@@ -13,7 +13,8 @@ import numpy as np
 import pytest
 
 from repro.core import MM_READ_ONLY, MM_WRITE_ONLY, SeqTx, StrideTx
-from benchmarks.common import print_table, testbed, write_csv
+from benchmarks.common import emit_result, print_table, testbed, \
+    write_csv
 
 N = 512 * 1024  # float64 elements = 4 MB
 
@@ -74,3 +75,8 @@ def test_ablation_page_size(benchmark):
     # The extremes never beat the best mid-size page.
     best = min(t.values())
     assert best == min(t[16], t[64], t[256])
+    best_kb = min(t, key=t.get)
+    emit_result("ablation_page_size", "page_size.best_kb", best_kb,
+                "KB", dict(n_nodes=2, elements=N))
+    emit_result("ablation_page_size", "page_size.tiny_vs_best",
+                t[4] / best, "x", dict(n_nodes=2, elements=N))

@@ -13,7 +13,8 @@ import pytest
 
 from repro.apps.datagen import write_parquet_points
 from repro.apps.kmeans import mm_kmeans
-from benchmarks.common import print_table, testbed, write_csv
+from benchmarks.common import emit_result, print_table, testbed, \
+    write_csv
 
 N_POINTS = 160_000
 
@@ -48,3 +49,6 @@ def test_ablation_prefetcher(benchmark, tmp_path):
     assert on["prefetches"] > 0 and off["prefetches"] == 0
     # ...and improves end-to-end runtime.
     assert on["runtime_s"] < off["runtime_s"]
+    emit_result("ablation_prefetcher", "prefetcher.speedup",
+                off["runtime_s"] / max(on["runtime_s"], 1e-9), "x",
+                dict(n_nodes=2, points=N_POINTS))

@@ -20,8 +20,8 @@ import numpy as np
 import pytest
 
 from repro.core import MM_READ_WRITE, MM_WRITE_ONLY, SeqTx
-from benchmarks.common import export_trace, print_table, testbed, \
-    write_csv
+from benchmarks.common import emit_result, export_trace, print_table, \
+    testbed, write_csv
 
 PAGE = 64 * 1024
 PAGES_PER_RANK = 32
@@ -117,3 +117,11 @@ def test_batching_pipeline_win(benchmark):
     assert row_on["batches"] > 0
     assert row_on["vectored_gets"] > 0
     assert row_off["batches"] == 0
+    cfg = dict(n_nodes=2, pages_per_rank=PAGES_PER_RANK, page=PAGE)
+    emit_result("batching", "batching.net_transfer_ratio",
+                row_off["net_transfers"]
+                / max(1, row_on["net_transfers"]), "x", cfg)
+    emit_result("batching", "batching.rpc_ratio",
+                row_off["rpc_ops"] / max(1, row_on["rpc_ops"]), "x", cfg)
+    emit_result("batching", "batching.net_mb", row_on["net_mb"], "MB",
+                cfg)

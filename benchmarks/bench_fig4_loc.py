@@ -17,7 +17,7 @@ import os
 import pytest
 
 from repro.apps.loc import count_files
-from benchmarks.common import print_table, write_csv
+from benchmarks.common import emit_result, print_table, write_csv
 
 APPS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src",
                         "repro", "apps")
@@ -78,3 +78,5 @@ def test_fig4_loc(benchmark):
     total_mm = sum(r["megammap_loc"] for r in rows)
     total_orig = sum(r["original_loc"] for r in rows)
     assert total_mm < total_orig
+    emit_result("fig4", "loc.reduction_ratio", total_orig / total_mm,
+                "x", dict(apps=[r["app"] for r in rows]))

@@ -20,8 +20,8 @@ from repro.apps.grayscott import mm_gray_scott, mpi_gray_scott
 from repro.apps.kmeans import mm_kmeans, spark_kmeans
 from repro.apps.rf import mm_random_forest
 from repro.apps.rf.spark_rf import spark_random_forest
-from benchmarks.common import export_trace, print_table, testbed, \
-    write_csv
+from benchmarks.common import emit_result, export_trace, print_table, \
+    testbed, write_csv
 
 NODE_COUNTS = [1, 2, 4]
 
@@ -129,3 +129,9 @@ def test_fig5_weak_scaling(benchmark, tmp_path):
         first, last = app_rows[0], app_rows[-1]
         factor = last["nodes"] / first["nodes"]
         assert last["mm_s"] < factor * max(first["mm_s"], 1e-9) * 2, app
+        emit_result("fig5", f"{app.lower()}.speedup_vs_baseline",
+                    last["baseline_s"] / max(last["mm_s"], 1e-9), "x",
+                    dict(nodes=last["nodes"],
+                         baseline=last["baseline"]))
+        emit_result("fig5", f"{app.lower()}.mm_runtime", last["mm_s"],
+                    "sim_s", dict(nodes=last["nodes"]))

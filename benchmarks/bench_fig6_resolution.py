@@ -16,7 +16,8 @@ import pytest
 from repro.apps.grayscott import HermesIo, mm_gray_scott, mpi_gray_scott
 from repro.storage.assise import AssiseFS
 from repro.storage.tiers import MB, NVME, scaled
-from benchmarks.common import print_table, testbed, write_csv
+from benchmarks.common import emit_result, print_table, testbed, \
+    write_csv
 
 #: Scaled testbed: 4 nodes x 2 procs, 12 MB DRAM + 32 MB NVMe per node
 #: (same DRAM:NVMe ratio as the paper's 48 GB / 128 GB).
@@ -110,3 +111,10 @@ def test_fig6_resolution(benchmark):
             if not other["crashed"]:
                 assert mm["runtime_s"] < 1.3 * other["runtime_s"], \
                     (L, system)
+    emit_result("fig6", "resolution.max_over_mpi",
+                largest ** 3 / mpi_max ** 3, "x",
+                dict(n_nodes=N_NODES, dram_mb=DRAM_MB))
+    emit_result("fig6", "resolution.speedup_vs_pfs",
+                by[("MPI+OrangeFS", mpi_max)]["runtime_s"]
+                / by[("MegaMmap", mpi_max)]["runtime_s"], "x",
+                dict(L=mpi_max, n_nodes=N_NODES))

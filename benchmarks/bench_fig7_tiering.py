@@ -19,7 +19,8 @@ import pytest
 
 from repro.apps.grayscott import mm_gray_scott
 from repro.storage.tiers import GB
-from benchmarks.common import print_table, testbed, write_csv
+from benchmarks.common import emit_result, print_table, testbed, \
+    write_csv
 
 N_NODES = 4
 DRAM_MB = 6
@@ -78,3 +79,6 @@ def test_fig7_tiering(benchmark):
     # all-flash compositions follows the performance ordering.
     assert cost["48D-48N"] > cost["48D-32N-16S"] > cost["48D-16N-32S"] \
         > cost["48D-48H"]
+    emit_result("fig7", "tiering.nvme_vs_hdd_speedup",
+                t["48D-48H"] / t["48D-48N"], "x",
+                dict(n_nodes=N_NODES, L=L, steps=STEPS))

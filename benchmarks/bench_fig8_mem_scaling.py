@@ -22,7 +22,8 @@ from repro.apps.grayscott import mm_gray_scott
 from repro.apps.kmeans import mm_kmeans
 from repro.apps.rf import mm_random_forest
 from repro.apps.rf.common import FEATURE6
-from benchmarks.common import print_table, testbed, write_csv
+from benchmarks.common import emit_result, print_table, testbed, \
+    write_csv
 
 N_NODES = 4
 #: Per-node DRAM as a fraction of the app's per-node working set.
@@ -116,6 +117,9 @@ def test_fig8_mem_scaling(benchmark, tmp_path):
         # The cap really constrains the node's memory.
         assert sweep[min(FRACTIONS)]["peak_dram_mb"] \
             <= sweep[max(FRACTIONS)]["peak_dram_mb"] + 0.01, app
+        emit_result("fig8", f"{app.lower()}.slowdown_half_dram",
+                    sweep[0.5]["runtime_s"] / max(base, 1e-9), "x",
+                    dict(n_nodes=N_NODES, dram_frac=0.5))
     # Under the smallest caps the overflow really lands on NVMe for
     # the data-heavy apps.
     smallest = min(FRACTIONS)

@@ -26,7 +26,8 @@ import numpy as np
 import pytest
 
 from repro.core import MM_READ_WRITE, SeqTx
-from benchmarks.common import print_table, testbed, write_csv
+from benchmarks.common import emit_result, print_table, testbed, \
+    write_csv
 
 N = 256 * 1024  # elements
 
@@ -92,3 +93,5 @@ def test_indexing_overhead(benchmark):
     assert row["ops_per_chunk"] <= 8
     # The modelled overhead is "minor (≈5%)" — comfortably under 10%.
     assert row["model_overhead_pct"] < 10.0
+    emit_result("indexing_overhead", "indexing.model_overhead_pct",
+                row["model_overhead_pct"], "%", dict(accesses=N))

@@ -15,8 +15,9 @@ role), and asserts the figure's qualitative claims.
 from __future__ import annotations
 
 import csv
+import json
 import os
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster import ClusterSpec, SimCluster
 from repro.core.config import MegaMmapConfig
@@ -76,6 +77,49 @@ def export_trace(cluster: SimCluster, name: str) -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.trace.json")
     return cluster.export_trace(path)
+
+
+def emit_result(name: str, metric: str, value: float, unit: str,
+                sim_config: Optional[Dict] = None) -> str:
+    """Append one standardized record to the perf trajectory.
+
+    Records accumulate in ``benchmarks/results/BENCH_<name>.json`` as a
+    JSON list of ``{name, metric, value, unit, sim_config}`` objects —
+    one file per benchmark, one record per (re)run and metric, so CI
+    can diff throughput across commits. Returns the file path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    records: List[Dict] = []
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                records = json.load(fh)
+            if not isinstance(records, list):
+                records = []
+        except (OSError, ValueError):
+            records = []
+    records.append({
+        "name": name,
+        "metric": metric,
+        "value": float(value),
+        "unit": unit,
+        "sim_config": dict(sim_config or {}),
+    })
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(records, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def read_results(name: str) -> List[Dict]:
+    """Load the records previously emitted for ``name`` (empty list
+    when the benchmark has not run yet)."""
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
 
 
 def write_csv(name: str, rows: List[Dict]) -> str:

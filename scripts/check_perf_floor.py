@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Gate CI on the kernel wall-clock floors.
+
+Reads the ``{name, metric, value, unit, sim_config}`` records emitted
+by ``benchmarks.common.emit_result`` (``benchmarks/results/
+BENCH_*.json``) and compares the *latest* record of each gated metric
+against the floors in ``benchmarks/perf_floor.json``. Exits non-zero,
+listing every violation, when a metric runs below its floor; metrics
+with no emitted record fail too (the benchmark did not run).
+
+Usage::
+
+    python scripts/check_perf_floor.py [--results DIR] [--floors FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+DEFAULT_RESULTS = os.path.join(REPO, "benchmarks", "results")
+DEFAULT_FLOORS = os.path.join(REPO, "benchmarks", "perf_floor.json")
+
+
+def load_latest_metrics(results_dir: str) -> dict:
+    """{metric: (value, unit)} from the newest record of each metric."""
+    latest = {}
+    for path in sorted(glob.glob(os.path.join(results_dir,
+                                              "BENCH_*.json"))):
+        with open(path, encoding="utf-8") as fh:
+            records = json.load(fh)
+        for rec in records:  # in emit order; later records win
+            latest[rec["metric"]] = (rec["value"], rec.get("unit", ""))
+    return latest
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--results", default=DEFAULT_RESULTS)
+    ap.add_argument("--floors", default=DEFAULT_FLOORS)
+    args = ap.parse_args(argv)
+
+    with open(args.floors, encoding="utf-8") as fh:
+        floors = json.load(fh)["floors"]
+    metrics = load_latest_metrics(args.results)
+
+    failures = []
+    for metric, floor in sorted(floors.items()):
+        got = metrics.get(metric)
+        if got is None:
+            failures.append(f"{metric}: no emitted record "
+                            f"(floor {floor})")
+            continue
+        value, unit = got
+        status = "ok" if value >= floor else "BELOW FLOOR"
+        print(f"{metric}: {value:,.0f} {unit} "
+              f"(floor {floor:,.0f}) {status}")
+        if value < floor:
+            failures.append(f"{metric}: {value:,.2f} < floor {floor:,}")
+    if failures:
+        print("\nPerf floor violations:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("All perf floors satisfied.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,13 +24,16 @@ class TaskKind(Enum):
     DELETE = "delete"
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryTask:
     """One scheduled unit of scache work.
 
-    ``fragments`` for WRITE tasks: list of (page offset, bytes) — the
+    ``fragments`` for WRITE tasks: list of (page offset, buffer) — the
     exact modified byte ranges, never the whole page unless the whole
-    page is dirty (partial paging, III-C).
+    page is dirty (partial paging, III-C). Buffers are ``bytes``
+    copies (flush: the source frame stays writable) or uint8 ndarray
+    views (evict: the source frame was dropped, so the task owns the
+    buffer exclusively).
     ``region`` for READ tasks: (page offset, nbytes) to fetch; the
     whole page when None.
     ``scores`` for SCORE tasks: list of (page_idx, score, node_hint).
@@ -59,7 +62,7 @@ class MemoryTask:
         return 0
 
 
-@dataclass
+@dataclass(slots=True)
 class BatchTask:
     """Several same-kind MemoryTasks for one owner node, shipped and
     serviced as a unit.

@@ -344,8 +344,11 @@ class Vector:
             covers_all = True  # write-allocate: no read needed
             frame = yield from self._fault(page_idx, (byte_off, nbytes),
                                            allocate_only=covers_all)
-            frame.data[byte_off:byte_off + nbytes] = np.frombuffer(
-                array[soff:soff + n].tobytes(), dtype=np.uint8)
+            # Assign the source slice's uint8 view directly — the frame
+            # assignment is the one copy; a tobytes()/frombuffer round
+            # trip would materialize the bytes twice per span.
+            frame.data[byte_off:byte_off + nbytes] = \
+                array[soff:soff + n].view(np.uint8)
             frame.dirty.add(byte_off, byte_off + nbytes)
             frame.valid.add(byte_off, byte_off + nbytes)
 
@@ -485,8 +488,15 @@ class Vector:
             missing.remove(v_start, v_end)
         return list(missing)
 
-    def _install(self, frame: Frame, start: int, raw: bytes) -> None:
-        data = np.frombuffer(raw, dtype=np.uint8)
+    def _install(self, frame: Frame, start: int, raw) -> None:
+        """Copy fetched bytes into a frame (the ownership boundary).
+
+        ``raw`` may be ``bytes``, a ``memoryview``, or a uint8 ndarray
+        view — the data plane ships views; the frame install here is
+        where the one real copy happens.
+        """
+        data = raw if isinstance(raw, np.ndarray) \
+            else np.frombuffer(raw, dtype=np.uint8)
         end = start + len(data)
         # Locally dirty bytes are newer than anything the scache holds:
         # save and restore them around the install (matters when an
@@ -497,6 +507,7 @@ class Vector:
         for s, e, buf in saved:
             frame.data[s:e] = buf
         frame.valid.add(start, end)
+        self.client.system.monitor.count("bytes.copied", len(data))
 
     def _fault_wave(self, regions):
         """Fault one wave of page regions with a single batched READ
@@ -578,8 +589,13 @@ class Vector:
             if frame.pending is not None and not frame.pending.processed:
                 yield frame.pending
             if frame.dirty:
+                # The frame was popped from self.frames above, so the
+                # WRITE task owns it exclusively: ship ndarray views of
+                # the dirty ranges instead of bytes copies. (The
+                # simulated memcpy cost below is unchanged — only the
+                # host-side copy disappears.)
                 fragments = [
-                    (start, frame.data[start:end].tobytes())
+                    (start, frame.data[start:end])
                     for start, end in frame.dirty
                 ]
                 nbytes = sum(len(d) for _, d in fragments)
@@ -694,11 +710,15 @@ class Vector:
             frame = self.frames[page_idx]
             if not frame.dirty:
                 continue
+            # Unlike evict_page, the frame stays resident and writable
+            # after a flush: the fragments MUST be copies, or the app
+            # could mutate them before the async WRITE task runs.
             fragments = [
                 (start, frame.data[start:end].tobytes())
                 for start, end in frame.dirty
             ]
             nbytes = sum(len(d) for _, d in fragments)
+            self.client.system.monitor.count("bytes.copied", nbytes)
             yield self.client.system.sim.timeout(
                 nbytes / self.client.system.memcpy_bw)
             tasks.append(MemoryTask(

@@ -9,7 +9,7 @@ class BlobNotFound(KeyError):
     """Raised when a blob key has no metadata entry."""
 
 
-@dataclass
+@dataclass(slots=True)
 class BlobInfo:
     """Where one blob lives and how hot it is.
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.hermes.blob import BlobInfo, BlobNotFound
 from repro.hermes.dpe import MinimizeIoTime, PlacementError, PlacementPolicy
 from repro.hermes.mdm import MetadataManager
@@ -12,6 +14,27 @@ from repro.sim import Lock, Monitor, Simulator
 from repro.sim.trace import NOOP_TRACER
 from repro.storage.device import Device
 from repro.storage.dmsh import DMSH
+
+
+def _as_payload(data):
+    """Normalize a put payload to a zero-copy bytes-like object.
+
+    ``bytes``/``memoryview`` pass through untouched and ndarrays become
+    flat uint8 views (so ``len()`` equals the byte count) — the single
+    persist copy happens in the destination :class:`Device`, not here.
+    Callers passing a view or ndarray hand over ownership: the buffer
+    must not be mutated while the put is in flight (the pcache
+    guarantees this by only shipping views of frames it has dropped).
+    A ``bytearray`` is defensively copied, as before, since it carries
+    no such ownership contract.
+    """
+    if isinstance(data, np.ndarray):
+        if data.dtype == np.uint8 and data.ndim == 1:
+            return data
+        return np.ascontiguousarray(data).reshape(-1).view(np.uint8)
+    if isinstance(data, bytearray):
+        return bytes(data)
+    return data
 
 
 class Hermes:
@@ -154,8 +177,7 @@ class Hermes:
     def put(self, client_node: int, bucket: str, key, data,
             score: float = 1.0, target_node: Optional[int] = None):
         """Store/replace a blob; returns its :class:`BlobInfo`."""
-        data = bytes(data) if not isinstance(data, (bytes, bytearray)) \
-            else bytes(data)
+        data = _as_payload(data)
         node = client_node if target_node is None else target_node
         lock = self._lock(bucket, key)
         yield lock.acquire()
@@ -201,7 +223,8 @@ class Hermes:
         publishes go out as one batched RPC per owner shard instead of
         one round trip per blob. Generator; returns ``{key: BlobInfo}``.
         """
-        items = [(key, bytes(data), node) for key, data, node in items]
+        items = [(key, _as_payload(data), node)
+                 for key, data, node in items]
         if not items:
             return {}
         # One vectored metadata lookup round for the whole batch; the
@@ -253,7 +276,7 @@ class Hermes:
                     offset: int, data):
         """Update a byte range inside an existing blob (partial paging:
         only the modified fragment crosses the network)."""
-        data = bytes(data)
+        data = _as_payload(data)
         lock = self._lock(bucket, key)
         yield lock.acquire()
         try:

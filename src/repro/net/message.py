@@ -39,7 +39,7 @@ def batched_nbytes(payload_sizes, envelope: int = ENVELOPE,
     return total
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One in-flight message."""
 
@@ -72,6 +72,8 @@ def payload_nbytes(payload: Any) -> int:
 
 class Mailbox:
     """Per-rank queue with (source, tag) matching semantics."""
+
+    __slots__ = ("sim", "_messages", "_waiters")
 
     def __init__(self, sim: Simulator):
         self.sim = sim

@@ -3,20 +3,46 @@
 Design notes
 ------------
 * Events carry a value or an exception. Triggering an event schedules
-  it on the simulator heap; its callbacks run when the heap pops it.
+  it on the simulator; its callbacks run when the scheduler pops it.
 * A :class:`Process` wraps a generator. Each ``yield`` must produce an
   :class:`Event`; the process resumes with the event's value (or the
   exception is thrown into the generator). ``return x`` sets the
   process's own event value, so processes compose: one process can
   ``yield`` another.
-* The heap is ordered by ``(time, priority, seq)``; ``seq`` keeps FIFO
-  order among simultaneous events, which makes every simulation run
-  bit-for-bit deterministic.
+* The schedule is ordered by ``(time, priority, seq)``; ``seq`` keeps
+  FIFO order among simultaneous events, which makes every simulation
+  run bit-for-bit deterministic.
+
+Fast paths (see DESIGN.md, "Kernel fast paths")
+-----------------------------------------------
+Most events in a MegaMmap run are *immediate*: control transfers at
+the current timestamp (process resumption, store hand-offs, lock
+grants, zero-delay timeouts). Two fast paths keep them off the time
+heap without changing the processing order:
+
+* **Microqueue** — zero-delay events land in per-priority FIFO deques
+  instead of the heap. Because time only advances when both deques are
+  empty, every deque entry has ``time == now`` and FIFO order equals
+  ``seq`` order; :meth:`Simulator.step` merges the deque heads with
+  the heap head under the exact ``(time, priority, seq)`` comparison,
+  so the pop order is identical to the heap-only kernel.
+* **Trampoline** — when a process yields an event that is *already
+  triggered* and is *exactly the event step() would pop next*, the
+  process consumes it inline (running any other callbacks first, just
+  as ``step()`` would) and keeps executing without returning to the
+  scheduler. Chains of immediate events then run entirely inside one
+  ``_resume`` call.
+
+``MEGAMMAP_SLOW_KERNEL=1`` (or ``Simulator(fast=False)``) disables
+both paths, restoring the heap-only kernel — simulated results and
+timings are bit-for-bit identical either way; only wall-clock differs.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 #: Priority for "urgent" events (process resumption) so that control
@@ -47,7 +73,11 @@ class Event:
     it), and *processed* once its callbacks have run.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "processed")
+    # ``_qseq`` is assigned lazily: only microqueued events carry their
+    # schedule sequence number (the heap keeps seq in its entry tuple),
+    # so pending events stay one slot-write cheaper to construct.
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled",
+                 "processed", "_qseq")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -76,15 +106,26 @@ class Event:
 
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, priority)
+        sim = self.sim
+        # Inlined microqueue schedule: an immediate NORMAL succeed is
+        # the hottest call in the kernel (store hand-offs, lock grants,
+        # rpc completions), so skip the _schedule() call for it.
+        if sim._fast and priority == NORMAL and not self._scheduled:
+            self._scheduled = True
+            seq = sim._seq
+            sim._seq = seq + 1
+            self._qseq = seq
+            sim._imm_normal.append(self)
+            return self
+        sim._schedule(self, priority)
         return self
 
     def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError(f"{exc!r} is not an exception")
@@ -166,42 +207,105 @@ class Process(Event):
 
     # -- engine hook ----------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.sim._active = self
+        sim = self.sim
+        gen = self.gen
+        sim._active = self
+        # The deques/heap objects are never reassigned on the
+        # Simulator, so they are safe to hoist out of the hot loop.
+        imm_urgent = sim._imm_urgent
+        imm_normal = sim._imm_normal
+        heap = sim._heap
+        pending = _PENDING
+        # _tail is loop-invariant here: it is True iff this _resume ran
+        # as the sole callback of the event step() is processing, and
+        # the trampoline below always restores it after running nested
+        # callbacks. _stop's identity can only change across run()
+        # calls, never mid-chain (only its .processed flips).
+        tail = sim._tail
+        stop = sim._stop
         evt: Optional[Event] = event
+        # Trampoline count is accumulated locally and flushed once per
+        # _resume call — a per-event instance-attribute increment would
+        # cost as much as the scheduling it saves.
+        tramps = 0
         while True:
             try:
                 if evt is None:
-                    target = next(self.gen)
+                    target = next(gen)
                 elif evt._ok:
-                    target = self.gen.send(evt._value)
+                    target = gen.send(evt._value)
                 else:
                     # mark the failure as handled by this process
-                    target = self.gen.throw(evt._value)
+                    target = gen.throw(evt._value)
             except StopIteration as stop:
-                self.sim._active = None
+                sim._active = None
+                sim.trampolines += tramps
                 self.succeed(stop.value, priority=URGENT)
                 return
             except BaseException as exc:
-                self.sim._active = None
+                sim._active = None
+                sim.trampolines += tramps
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
                 self.fail(exc, priority=URGENT)
                 return
-            if not isinstance(target, Event):
-                self.sim._active = None
+            try:
+                wrong_sim = target.sim is not sim
+            except AttributeError:
+                wrong_sim = True
+            if wrong_sim:
+                sim._active = None
+                if isinstance(target, Event):
+                    raise SimulationError(
+                        "yielded event belongs to a different Simulator")
                 raise SimulationError(
                     f"process {self.name!r} yielded non-event {target!r}")
-            if target.sim is not self.sim:
-                self.sim._active = None
-                raise SimulationError(
-                    "yielded event belongs to a different Simulator")
-            if target.processed or target.callbacks is None:
+            cbs = target.callbacks
+            if target.processed or cbs is None:
                 # Already fired: resume immediately with its value.
                 evt = target
                 continue
-            target.callbacks.append(self._resume)
+            if tail and target._value is not pending \
+                    and (stop is None or not stop.processed):
+                # Trampoline: the target is triggered and waiting in a
+                # microqueue. If it is exactly the event step() would
+                # pop next — we are the last callback of the event
+                # being processed, so nothing runs between "now" and
+                # that pop — consume it inline instead of bouncing
+                # through the scheduler. Any other callbacks registered
+                # on the target run first, exactly as step() would run
+                # them (our own continuation was not appended yet, so
+                # it comes last either way).
+                q = imm_urgent
+                prio = URGENT
+                if not q:
+                    q = imm_normal
+                    prio = NORMAL
+                if q and q[0] is target:
+                    next_is_target = True
+                    if heap:
+                        h = heap[0]
+                        if h[0] == sim.now and (
+                                h[1] < prio
+                                or (h[1] == prio and h[2] < target._qseq)):
+                            next_is_target = False
+                    if next_is_target:
+                        q.popleft()
+                        target.callbacks = None
+                        if cbs:
+                            sim._tail = False
+                            for cb in cbs:
+                                cb(target)
+                            sim._tail = True
+                            sim._active = self
+                        target.processed = True
+                        tramps += 1
+                        evt = target
+                        continue
+            cbs.append(self._resume)
             self._target = target
-            self.sim._active = None
+            sim._active = None
+            sim.trampolines += tramps
             return
 
 
@@ -265,13 +369,50 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a heap of ``(time, priority, seq, event)``."""
+    """The event loop: immediate-event microqueues over a time heap.
 
-    def __init__(self):
+    The heap holds ``(time, priority, seq, event)`` entries; the two
+    microqueues hold bare events (their seq in ``Event._qseq``) for
+    zero-delay events at the current timestamp — one deque per
+    priority, so each is FIFO in ``seq``. :meth:`step` pops the
+    minimum of the three heads under the ``(time, priority, seq)``
+    order.
+
+    ``fast=None`` (default) enables the microqueue/trampoline fast
+    paths unless the ``MEGAMMAP_SLOW_KERNEL`` environment variable is
+    set to a non-empty value other than ``"0"``.
+    """
+
+    def __init__(self, fast: Optional[bool] = None):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
+        self._imm_urgent: deque[Event] = deque()
+        self._imm_normal: deque[Event] = deque()
         self._seq = 0
         self._active: Optional[Process] = None
+        if fast is None:
+            fast = os.environ.get("MEGAMMAP_SLOW_KERNEL", "") in ("", "0")
+        self._fast = bool(fast)
+        #: True while the single/last callback of the event currently
+        #: being processed runs — the only point where the trampoline
+        #: may consume the next event inline.
+        self._tail = False
+        #: The active ``run(until=event)`` stop event. Trampolining is
+        #: suspended once it is processed so the kernel leaves exactly
+        #: the same events pending as the heap-only kernel would.
+        self._stop: Optional[Event] = None
+        #: Host-side scheduling counters (observability; they do not
+        #: exist in simulated time). ``heap_events`` paid a heap push,
+        #: ``trampolines`` were consumed inline without re-entering the
+        #: scheduler; ``fast_events`` (microqueue schedules) is derived
+        #: as ``_seq - heap_events`` to keep the hot path increment-free.
+        self.heap_events = 0
+        self.trampolines = 0
+
+    @property
+    def fast_events(self) -> int:
+        """Events scheduled through a microqueue (vs. the time heap)."""
+        return self._seq - self.heap_events
 
     # -- construction helpers -------------------------------------------
     def event(self) -> Event:
@@ -294,23 +435,70 @@ class Simulator:
         if event._scheduled:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        if self._fast and delay == 0.0:
+            if priority == URGENT:
+                event._qseq = seq
+                self._imm_urgent.append(event)
+                return
+            if priority == NORMAL:
+                event._qseq = seq
+                self._imm_normal.append(event)
+                return
+        heapq.heappush(self._heap, (self.now + delay, priority, seq, event))
+        self.heap_events += 1
 
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` when the heap is empty."""
+        """Time of the next event, or ``inf`` when nothing is scheduled."""
+        if self._imm_urgent or self._imm_normal:
+            return self.now
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Pop and process a single event."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        if when < self.now:  # pragma: no cover - defensive
-            raise SimulationError("time went backwards")
-        self.now = when
+        """Pop and process a single event.
+
+        Raises :class:`SimulationError` when nothing is scheduled
+        (stepping an empty simulation is always a caller bug).
+        """
+        heap = self._heap
+        q = self._imm_urgent
+        prio = URGENT
+        if not q:
+            q = self._imm_normal
+            prio = NORMAL
+        event: Optional[Event] = None
+        if q:
+            # Microqueue entries are all at time == now; a heap entry
+            # only wins when it is at now with a strictly smaller
+            # (priority, seq) — the exact (time, priority, seq) order.
+            if heap:
+                h = heap[0]
+                if h[0] == self.now and (
+                        h[1] < prio or (h[1] == prio and h[2] < q[0]._qseq)):
+                    event = heapq.heappop(heap)[3]
+            if event is None:
+                event = q.popleft()
+        elif heap:
+            when, _prio, _seq, event = heapq.heappop(heap)
+            if when < self.now:  # pragma: no cover - defensive
+                raise SimulationError("time went backwards")
+            self.now = when
+        else:
+            raise SimulationError(
+                "step() on an empty schedule: no events are pending")
         callbacks = event.callbacks
         event.callbacks = None
-        for cb in callbacks:
-            cb(event)
+        if callbacks:
+            if len(callbacks) == 1:
+                # Tail position: the trampoline may run event chains
+                # inline from here (see Process._resume).
+                self._tail = True
+                callbacks[0](event)
+                self._tail = False
+            else:
+                for cb in callbacks:
+                    cb(event)
         event.processed = True
         if not event._ok and not callbacks:
             # Nothing was waiting on this failure: surface it rather
@@ -318,7 +506,8 @@ class Simulator:
             raise event._value
 
     def run(self, until: Optional[float | Event] = None) -> Any:
-        """Run until the heap drains, a deadline passes, or an event fires.
+        """Run until the schedule drains, a deadline passes, or an event
+        fires.
 
         When ``until`` is an event, returns that event's value (raising
         its exception if it failed). Unhandled process failures
@@ -336,13 +525,18 @@ class Simulator:
             deadline = float(until)
             if deadline < self.now:
                 raise ValueError("deadline lies in the past")
-        while self._heap:
-            if stop_evt is not None and stop_evt.processed:
-                break
-            if self.peek() > deadline:
-                self.now = deadline
-                return None
-            self.step()
+        prev_stop = self._stop
+        self._stop = stop_evt
+        try:
+            while self._heap or self._imm_urgent or self._imm_normal:
+                if stop_evt is not None and stop_evt.processed:
+                    break
+                if self.peek() > deadline:
+                    self.now = deadline
+                    return None
+                self.step()
+        finally:
+            self._stop = prev_stop
         if stop_evt is not None:
             if not stop_evt.triggered:
                 raise SimulationError("run() ended before `until` event fired")

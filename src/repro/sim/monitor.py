@@ -123,12 +123,21 @@ class Monitor:
     def summary(self) -> Dict[str, float]:
         """Flat dict of counters plus per-gauge peak and time average,
         plus per-category trace latency percentiles when a tracer is
-        attached and was enabled."""
+        attached and was enabled.
+
+        ``kernel.*`` keys report host-side scheduling counters; they
+        describe wall-clock behaviour, not simulated time, so
+        equivalence comparisons between kernels should exclude them.
+        """
         out: Dict[str, float] = dict(self.counters)
         for name, g in self.gauges.items():
             out[f"{name}.peak"] = g.peak
             avg = g.time_average()
             out[f"{name}.avg"] = avg if math.isfinite(avg) else 0.0
+        sim = self.sim
+        out["kernel.fast_events"] = float(sim.fast_events)
+        out["kernel.heap_events"] = float(sim.heap_events)
+        out["kernel.trampolines"] = float(sim.trampolines)
         if self.tracer is not None:
             out.update(self.tracer.latency_summary())
         return out

@@ -38,6 +38,8 @@ class Resource:
             resource.release(req)
     """
 
+    __slots__ = ("sim", "capacity", "name", "_users", "_queue")
+
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -103,6 +105,8 @@ class Resource:
 
 class Store:
     """Unbounded FIFO of items; ``get`` blocks while empty."""
+
+    __slots__ = ("sim", "name", "_items", "_getters")
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim

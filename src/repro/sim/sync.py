@@ -23,6 +23,8 @@ class Barrier:
     the generation number (0, 1, 2, ...), handy for phase bookkeeping.
     """
 
+    __slots__ = ("sim", "parties", "name", "generation", "_waiting")
+
     def __init__(self, sim: Simulator, parties: int, name: str = ""):
         if parties < 1:
             raise ValueError(f"parties must be >= 1, got {parties}")
@@ -59,6 +61,8 @@ class Lock:
         finally:
             lock.release()
     """
+
+    __slots__ = ("sim", "name", "_locked", "_waiters")
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
@@ -99,6 +103,8 @@ class Condition:
     Processes ``yield cond.wait()``; a later :meth:`notify_all` wakes
     every current waiter with the given value.
     """
+
+    __slots__ = ("sim", "name", "_waiters")
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim

@@ -126,7 +126,7 @@ class Device:
         stored. Raises :class:`DeviceFullError` if it cannot fit.
         Generator: use ``yield from device.put(k, d)``.
         """
-        raw = _as_bytes(data)
+        raw = self._as_bytes(data)
         delta = len(raw) - len(self._blobs.get(key, b""))
         if delta > self.free:
             raise DeviceFullError(
@@ -160,11 +160,13 @@ class Device:
                 f"{len(raw)} bytes")
         yield from self._xfer(nbytes, write=False)
         self.bytes_read += nbytes
-        return raw[offset:offset + nbytes]
+        # A view into the stored (immutable) bytes: partial reads cost
+        # no host-side copy anywhere up the stack.
+        return memoryview(raw)[offset:offset + nbytes]
 
     def put_range(self, key, offset: int, data):
         """Timed partial overwrite inside an existing blob."""
-        raw = _as_bytes(data)
+        raw = self._as_bytes(data)
         blob = self._blobs[key]
         if offset < 0 or offset + len(raw) > len(blob):
             raise IndexError(
@@ -223,12 +225,25 @@ class Device:
             self.monitor.gauge(f"{self.name}.used").set(self.used)
         return len(raw)
 
+    def _as_bytes(self, data) -> bytes:
+        """Materialize a payload as immutable bytes (the persist copy).
+
+        This is the ownership-transfer boundary of the write path: the
+        data plane above ships views/ndarrays, and the one real copy of
+        the payload happens here. Already-``bytes`` payloads are stored
+        as-is (immutable, no copy). The copy volume is surfaced as the
+        ``bytes.copied`` counter.
+        """
+        if type(data) is bytes:
+            return data
+        if isinstance(data, np.ndarray):
+            raw = data.tobytes()
+        else:
+            raw = bytes(data)
+        if self.monitor is not None:
+            self.monitor.count("bytes.copied", len(raw))
+        return raw
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Device {self.name} kind={self.spec.kind} "
                 f"used={self.used}/{self.capacity}>")
-
-
-def _as_bytes(data) -> bytes:
-    if isinstance(data, np.ndarray):
-        return data.tobytes()
-    return bytes(data)
