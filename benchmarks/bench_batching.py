@@ -20,8 +20,8 @@ import numpy as np
 import pytest
 
 from repro.core import MM_READ_WRITE, MM_WRITE_ONLY, SeqTx
-from benchmarks.common import emit_result, export_trace, print_table, \
-    testbed, write_csv
+from benchmarks.common import critical_breakdown, emit_result, \
+    export_trace, print_table, testbed, write_csv
 
 PAGE = 64 * 1024
 PAGES_PER_RANK = 32
@@ -72,12 +72,12 @@ def _run_mode(batching: bool):
     )
     if c.tracer.enabled:
         export_trace(c, f"batching_{row['mode']}")
-    return row, res.values
+    return row, res.values, critical_breakdown(c)
 
 
 def run_batching():
-    row_on, values_on = _run_mode(True)
-    row_off, values_off = _run_mode(False)
+    row_on, values_on, bd_on = _run_mode(True)
+    row_off, values_off, bd_off = _run_mode(False)
     rows = [row_off, row_on]
     rows.append(dict(
         mode="ratio",
@@ -91,12 +91,12 @@ def run_batching():
         runtime_s=round(row_off["runtime_s"]
                         / max(1e-9, row_on["runtime_s"]), 2),
     ))
-    return rows, (values_on, values_off)
+    return rows, (values_on, values_off), (bd_on, bd_off)
 
 
 @pytest.mark.benchmark(group="batching")
 def test_batching_pipeline_win(benchmark):
-    (rows, (values_on, values_off)) = benchmark.pedantic(
+    (rows, (values_on, values_off), (bd_on, bd_off)) = benchmark.pedantic(
         run_batching, rounds=1, iterations=1)
     print_table("Batched vs per-page pipeline (2 nodes, "
                 f"{PAGES_PER_RANK} pages/rank exchange)", rows)
@@ -125,3 +125,10 @@ def test_batching_pipeline_win(benchmark):
                 row_off["rpc_ops"] / max(1, row_on["rpc_ops"]), "x", cfg)
     emit_result("batching", "batching.net_mb", row_on["net_mb"], "MB",
                 cfg)
+    # Traced runs (MEGAMMAP_TRACE=1) also record where the time went.
+    if bd_on is not None:
+        emit_result("batching", "batching.runtime_batched",
+                    row_on["runtime_s"], "s", cfg, breakdown=bd_on)
+    if bd_off is not None:
+        emit_result("batching", "batching.runtime_perpage",
+                    row_off["runtime_s"], "s", cfg, breakdown=bd_off)

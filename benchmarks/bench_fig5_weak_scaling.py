@@ -20,8 +20,8 @@ from repro.apps.grayscott import mm_gray_scott, mpi_gray_scott
 from repro.apps.kmeans import mm_kmeans, spark_kmeans
 from repro.apps.rf import mm_random_forest
 from repro.apps.rf.spark_rf import spark_random_forest
-from benchmarks.common import emit_result, export_trace, print_table, \
-    testbed, write_csv
+from benchmarks.common import critical_breakdown, emit_result, \
+    export_trace, print_table, testbed, write_csv
 
 NODE_COUNTS = [1, 2, 4]
 
@@ -38,6 +38,7 @@ def _gs_l(n_nodes: int) -> int:
 
 def run_weak_scaling(tmp_path):
     rows = []
+    breakdowns = {}
     for n in NODE_COUNTS:
         # --- KMeans: MegaMmap vs Spark ---
         path = tmp_path / f"km{n}.parquet"
@@ -47,6 +48,7 @@ def run_weak_scaling(tmp_path):
         mm = c.run(mm_kmeans, url, 8, 4)
         if c.tracer.enabled:  # MEGAMMAP_TRACE=1 / testbed(trace=True)
             export_trace(c, f"fig5_kmeans_mm_{n}n")
+            breakdowns[("KMeans", n)] = critical_breakdown(c)
         c2 = testbed(n_nodes=n)
         sp = c2.run_driver(spark_kmeans(c2, url, 8, 4))
         rows.append(dict(app="KMeans", nodes=n, procs=c.spec.nprocs,
@@ -99,13 +101,13 @@ def run_weak_scaling(tmp_path):
                          baseline_s=mpi.runtime,
                          mm_dram_mb=mm.peak_dram_total / 2**20,
                          baseline_dram_mb=mpi.peak_dram_total / 2**20))
-    return rows
+    return rows, breakdowns
 
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_weak_scaling(benchmark, tmp_path):
-    rows = benchmark.pedantic(run_weak_scaling, args=(tmp_path,),
-                              rounds=1, iterations=1)
+    rows, breakdowns = benchmark.pedantic(
+        run_weak_scaling, args=(tmp_path,), rounds=1, iterations=1)
     print_table("Fig. 5 — weak scaling (simulated seconds)", rows)
     write_csv("fig5_weak_scaling", rows)
     by_app = {}
@@ -134,4 +136,5 @@ def test_fig5_weak_scaling(benchmark, tmp_path):
                     dict(nodes=last["nodes"],
                          baseline=last["baseline"]))
         emit_result("fig5", f"{app.lower()}.mm_runtime", last["mm_s"],
-                    "sim_s", dict(nodes=last["nodes"]))
+                    "sim_s", dict(nodes=last["nodes"]),
+                    breakdown=breakdowns.get((app, last["nodes"])))

@@ -34,8 +34,8 @@ from repro.apps.datagen import write_parquet_points
 from repro.apps.kmeans import mm_kmeans
 from repro.core import MM_READ_WRITE, MM_WRITE_ONLY, SeqTx
 from repro.sim.engine import Event, Simulator
-from benchmarks.common import emit_result, print_table, testbed, \
-    write_csv
+from benchmarks.common import critical_breakdown, emit_result, \
+    print_table, testbed, write_csv
 
 PAGE = 64 * 1024
 PAGES_PER_RANK = 32
@@ -223,9 +223,9 @@ def test_kmeans_pipeline_wallclock(benchmark, tmp_path):
         t0 = time.perf_counter()
         res = c.run(mm_kmeans, url, 8, 4)
         wall = time.perf_counter() - t0
-        return res, wall
+        return res, wall, critical_breakdown(c)
 
-    res, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    res, wall, bd = benchmark.pedantic(run, rounds=1, iterations=1)
     stats = res.stats
     events = stats["kernel.fast_events"] + stats["kernel.heap_events"]
     rows = [dict(pipeline="kmeans", wall_s=round(wall, 3),
@@ -237,5 +237,6 @@ def test_kmeans_pipeline_wallclock(benchmark, tmp_path):
     cfg = dict(n_nodes=2, records=40_000, k=8, iters=4)
     emit_result("kernel", "pipeline.kmeans.events_per_sec",
                 events / wall, "events/s", cfg)
-    emit_result("kernel", "pipeline.kmeans.wall_s", wall, "s", cfg)
+    emit_result("kernel", "pipeline.kmeans.wall_s", wall, "s", cfg,
+                breakdown=bd)
     assert res.runtime > 0

@@ -79,14 +79,38 @@ def export_trace(cluster: SimCluster, name: str) -> str:
     return cluster.export_trace(path)
 
 
+def critical_breakdown(cluster: SimCluster) -> Optional[Dict]:
+    """Critical-path summary of a traced cluster run, in the compact
+    shape BENCH_*.json records carry (``emit_result(breakdown=...)``).
+
+    Returns None when the cluster ran without tracing (the usual
+    perf-benchmark mode) or recorded no spans — callers can pass the
+    result straight through unconditionally.
+    """
+    if not getattr(cluster.tracer, "enabled", False):
+        return None
+    from repro.obs import SpanGraph, analyze
+    from repro.obs.report import analysis_summary
+    graph = SpanGraph.from_tracer(cluster.tracer)
+    if not len(graph):
+        return None
+    return analysis_summary(analyze(graph, top_k=0))
+
+
 def emit_result(name: str, metric: str, value: float, unit: str,
-                sim_config: Optional[Dict] = None) -> str:
+                sim_config: Optional[Dict] = None,
+                breakdown: Optional[Dict] = None) -> str:
     """Append one standardized record to the perf trajectory.
 
     Records accumulate in ``benchmarks/results/BENCH_<name>.json`` as a
     JSON list of ``{name, metric, value, unit, sim_config}`` objects —
     one file per benchmark, one record per (re)run and metric, so CI
     can diff throughput across commits. Returns the file path.
+
+    ``breakdown`` (see :func:`critical_breakdown`) attaches a
+    ``critical_path`` field — per-category durations plus the overlap
+    ratio — so the trajectory records *where* the time went, not just
+    how much there was. Old records without the field stay valid.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
@@ -99,13 +123,16 @@ def emit_result(name: str, metric: str, value: float, unit: str,
                 records = []
         except (OSError, ValueError):
             records = []
-    records.append({
+    record = {
         "name": name,
         "metric": metric,
         "value": float(value),
         "unit": unit,
         "sim_config": dict(sim_config or {}),
-    })
+    }
+    if breakdown is not None:
+        record["critical_path"] = breakdown
+    records.append(record)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(records, fh, indent=2)
         fh.write("\n")

@@ -12,6 +12,7 @@ match before reading EXPERIMENTS.md.
 from __future__ import annotations
 
 import csv
+import json
 import os
 import sys
 from collections import defaultdict
@@ -92,6 +93,63 @@ def plot_fig4(rows):
          lambda r: _f(r, "original_loc"), "Fig.4 LOC — original")
 
 
+#: Fill characters for stacked critical-path segments, assigned to
+#: categories in descending-duration order.
+_STACK_CHARS = "#=+*:%@o."
+
+
+def plot_breakdowns(want=None) -> bool:
+    """Stacked per-category critical-path bars from BENCH_*.json.
+
+    Only records carrying a ``critical_path`` field (written by traced
+    benchmark runs) are plotted; old records without it are skipped, so
+    this renders nothing — gracefully — on pre-breakdown trajectories.
+    Returns True if anything was plotted.
+    """
+    plotted = False
+    for name in sorted(os.listdir(RESULTS)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        stem = name[len("BENCH_"):-len(".json")]
+        if want and want not in stem and want not in name:
+            continue
+        try:
+            with open(os.path.join(RESULTS, name),
+                      encoding="utf-8") as fh:
+                records = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(records, list):
+            continue
+        # Latest record per metric wins (the file is append-only).
+        latest = {}
+        for rec in records:
+            if isinstance(rec, dict) and rec.get("critical_path"):
+                latest[rec.get("metric", "?")] = rec
+        if not latest:
+            continue
+        print(f"\n## Critical-path breakdown — {stem}")
+        for metric, rec in sorted(latest.items()):
+            cp = rec["critical_path"]
+            cats = sorted((cp.get("by_category") or {}).items(),
+                          key=lambda kv: -kv[1])
+            total = cp.get("total") or sum(d for _, d in cats) or 1.0
+            bar, legend = [], []
+            for i, (cat, dur) in enumerate(cats):
+                ch = _STACK_CHARS[i % len(_STACK_CHARS)]
+                bar.append(ch * max(1, int(WIDTH * dur / total))
+                           if dur > 0 else "")
+                legend.append(f"{ch}={cat} {dur / total * 100:.0f}%")
+            overlap = cp.get("overlap_ratio")
+            extra = f"  overlap={overlap * 100:.0f}%" \
+                if overlap is not None else ""
+            print(f"  {metric}")
+            print(f"    |{''.join(bar)}| total={total:.4g}s{extra}")
+            print(f"    {'  '.join(legend)}")
+            plotted = True
+    return plotted
+
+
 PLOTTERS = {
     "fig4_loc": plot_fig4,
     "fig5_weak_scaling": plot_fig5,
@@ -129,6 +187,8 @@ def main(argv) -> int:
                 label_key = list(rows[0])[0]
                 bars(rows, lambda r: str(r[label_key]),
                      lambda r: _f(r, value_key), stem)
+        found = True
+    if plot_breakdowns(want):
         found = True
     if not found:
         print("no matching results", file=sys.stderr)

@@ -2,24 +2,31 @@
 
     python -m repro run pipelines/mm_kmeans_mega.yaml [--workdir DIR]
     python -m repro trace pipelines/mm_kmeans_mega.yaml [--out T.json]
+    python -m repro report <pipeline.yaml | trace.json> [--json]
+    python -m repro diff A.trace.json B.trace.json [--json]
 
 Mirrors the artifact's ``jarvis ppl run yaml /path/to/workflow.yaml``;
 the ``trace`` subcommand additionally records latency spans and writes
 a Chrome-trace-format JSON timeline (load in ``chrome://tracing`` or
-Perfetto). The bare form ``python -m repro <file.yaml>`` is kept as an
-alias for ``run``.
+Perfetto). ``report`` analyzes where the time went — critical-path
+breakdown, overlap ratio, top spans, queueing stats — either live (run
+a pipeline with tracing on) or post-hoc (from a trace JSON file).
+``diff`` aligns two trace files by span category and reports which
+categories account for the runtime delta. The bare form
+``python -m repro <file.yaml>`` is kept as an alias for ``run``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import tempfile
 
 from repro.pipeline import run_pipeline
 
-_SUBCOMMANDS = ("run", "trace")
+_SUBCOMMANDS = ("run", "trace", "report", "diff")
 
 
 def _print_rows(rows) -> None:
@@ -29,6 +36,91 @@ def _print_rows(rows) -> None:
         print("  ".join(
             f"{row[c]:.4f}" if isinstance(row[c], float) else str(row[c])
             for c in cols))
+
+
+def _is_trace_file(path: str) -> bool:
+    """A JSON file is a trace; anything else is a pipeline YAML."""
+    if not path.endswith(".json"):
+        return False
+    try:
+        with open(path, encoding="utf-8") as fh:
+            head = fh.read(512).lstrip()
+    except OSError:
+        return False
+    return head.startswith("{") or head.startswith("[")
+
+
+def _analyze_trace_file(path: str, top_k: int):
+    from repro.obs import analyze, load_trace
+    return analyze(load_trace(path), top_k=top_k)
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import SpanGraph, analyze, render_report
+    analyses = []  # (title, analysis)
+    if _is_trace_file(args.target):
+        analyses.append((os.path.basename(args.target),
+                         _analyze_trace_file(args.target, args.top)))
+    else:
+        workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-ppl-")
+        trace_path = os.path.abspath(os.path.join(workdir, "trace.json"))
+
+        def on_variant(cluster, variant, row):
+            graph = SpanGraph.from_tracer(cluster.tracer)
+            analyses.append((row.get("app", "run"),
+                             analyze(graph, monitor=cluster.monitor,
+                                     top_k=args.top)))
+
+        run_rows = run_pipeline(args.target, workdir=workdir,
+                                trace_path=trace_path,
+                                on_variant=on_variant)
+        if not run_rows:
+            print("pipeline produced no rows", file=sys.stderr)
+            return 1
+    if not analyses:
+        print("no spans recorded — nothing to report", file=sys.stderr)
+        return 1
+    if args.out:
+        payload = [a for _, a in analyses]
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload[0] if len(payload) == 1 else payload,
+                      fh, indent=2)
+        print(f"report JSON written to {os.path.abspath(args.out)}",
+              file=sys.stderr)
+    if args.json:
+        payload = [a for _, a in analyses]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2))
+    else:
+        for i, (title, analysis) in enumerate(analyses):
+            if i:
+                print()
+            print(render_report(analysis, title=title))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs import diff_analyses, render_diff
+    for path in (args.a, args.b):
+        if not _is_trace_file(path):
+            print(f"error: {path} is not a trace/report JSON file",
+                  file=sys.stderr)
+            return 2
+
+    def load_analysis(path):
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        if isinstance(data, dict) and "critical_path" in data:
+            return data  # already an analysis (repro report --out)
+        return _analyze_trace_file(path, top_k=5)
+
+    diff = diff_analyses(load_analysis(args.a), load_analysis(args.b))
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(render_diff(diff, label_a=os.path.basename(args.a),
+                          label_b=os.path.basename(args.b)))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -61,17 +153,53 @@ def main(argv=None) -> int:
                          help="trace JSON path (default: "
                               "<workdir>/trace.json)")
 
+    p_report = sub.add_parser(
+        "report",
+        help="critical-path triage report: pass a pipeline YAML (runs "
+             "it traced) or an existing trace JSON")
+    p_report.add_argument("target",
+                          help="pipeline YAML or Chrome-trace JSON")
+    p_report.add_argument("--workdir", default=None,
+                          help="workdir when running a pipeline")
+    p_report.add_argument("--top", type=int, default=10,
+                          help="number of top spans to list")
+    p_report.add_argument("--out", default=None,
+                          help="also write the analysis as JSON here")
+    p_report.add_argument("--json", action="store_true",
+                          help="print the analysis as JSON")
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two runs: which span categories account for the "
+             "runtime delta")
+    p_diff.add_argument("a", help="baseline trace/report JSON")
+    p_diff.add_argument("b", help="comparison trace/report JSON")
+    p_diff.add_argument("--json", action="store_true",
+                        help="print the diff as JSON")
+
     args = parser.parse_args(argv)
-    if not os.path.exists(args.pipeline):
-        print(f"error: pipeline file not found: {args.pipeline}",
-              file=sys.stderr)
+    if args.command == "diff":
+        for path in (args.a, args.b):
+            if not os.path.exists(path):
+                print(f"error: file not found: {path}", file=sys.stderr)
+                return 2
+        return _cmd_diff(args)
+    target = args.target if args.command == "report" else args.pipeline
+    if not os.path.exists(target):
+        print(f"error: file not found: {target}", file=sys.stderr)
         return 2
+    if args.command == "report":
+        return _cmd_report(args)
+
     workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-ppl-")
     trace_path = None
     if args.command == "trace":
-        trace_path = args.out or os.path.join(workdir, "trace.json")
-        out_dir = os.path.dirname(os.path.abspath(trace_path))
-        os.makedirs(out_dir, exist_ok=True)
+        # Default the trace next to the run's stats inside the workdir
+        # (never the CWD) and always resolve to an absolute path so the
+        # printed location is unambiguous.
+        trace_path = os.path.abspath(
+            args.out or os.path.join(workdir, "trace.json"))
+        os.makedirs(os.path.dirname(trace_path), exist_ok=True)
     rows = run_pipeline(args.pipeline, workdir=workdir,
                         trace_path=trace_path)
     if not rows:
@@ -84,7 +212,7 @@ def main(argv=None) -> int:
         # the paths actually written, not the requested one.
         written = [r["trace_file"] for r in rows if r.get("trace_file")]
         for p in dict.fromkeys(written):
-            print(f"trace written to {p} "
+            print(f"trace written to {os.path.abspath(p)} "
                   f"(open in chrome://tracing or https://ui.perfetto.dev)",
                   flush=True)
     return 0

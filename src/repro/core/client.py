@@ -110,7 +110,9 @@ class MegaMmapClient:
         with self.system.tracer.span(
                 f"submit:{task.kind.value}", "rpc", node=self.node,
                 target=target, vector=task.vector_name,
-                page=task.page_idx, wait=wait, nbytes=nbytes):
+                page=task.page_idx, wait=wait, nbytes=nbytes) as sp:
+            if self.system.tracer.enabled:
+                task.ctx = sp.span_id
             yield from self.system.network.transfer(self.node, target,
                                                     nbytes)
             self.system.runtimes[target].submit(task)
@@ -171,7 +173,9 @@ class MegaMmapClient:
             with self.system.tracer.span(
                     f"submit_batch:{batch.kind.value}", "rpc.batch",
                     node=self.node, target=owner, vector=batch.vector_name,
-                    count=len(batch), wait=wait, nbytes=nbytes):
+                    count=len(batch), wait=wait, nbytes=nbytes) as sp:
+                if self.system.tracer.enabled:
+                    batch.ctx = sp.span_id
                 yield from self.system.network.transfer(self.node, owner,
                                                         nbytes)
                 self.system.runtimes[owner].submit(batch)
@@ -200,6 +204,7 @@ class MegaMmapClient:
                 page_idx=batch[0][0], client_node=self.node,
                 scores=batch)
             task.done = Event(self.system.sim)
+            task.ctx = self.system.tracer.current_span_id()
             self._outstanding.append(task.done)
 
             def ship(t=task, o=owner):

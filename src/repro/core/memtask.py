@@ -51,6 +51,10 @@ class MemoryTask:
     #: Sim time the task entered the owning runtime's queue; the
     #: worker reports ``now - submit_time`` as the queue-wait span.
     submit_time: float = 0.0
+    #: Span id of the client-side submit span (tracing only); the
+    #: owning runtime stamps it as ``cause`` on the queue-wait and
+    #: service spans so the cross-process edge survives export.
+    ctx: Optional[int] = None
 
     @property
     def nbytes(self) -> int:
@@ -82,6 +86,8 @@ class BatchTask:
     tasks: List[MemoryTask] = field(default_factory=list)
     done: Optional[Event] = None
     submit_time: float = 0.0
+    #: Causal span id of the submit_batch span (see MemoryTask.ctx).
+    ctx: Optional[int] = None
 
     @property
     def nbytes(self) -> int:

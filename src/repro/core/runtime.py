@@ -82,6 +82,12 @@ class NodeRuntime:
                                    name=f"rt{node_id}.highcores")
         self.inflight = 0
         self._low_streak = 0
+        # Labeled backlog gauge: +1 on submit, -1 when a worker gets a
+        # core. Its time average is an L measurement *independent* of
+        # the rt.queue wait spans, so `repro report` can cross-check
+        # Little's law (L = lambda * W) from two sources.
+        self._backlog_gauge = system.monitor.metrics.gauge(
+            "rt_backlog", node=node_id)
         self._procs = [self.sim.process(self._scheduler(),
                                         name=f"rt{node_id}.sched")]
         for i, store in enumerate(self._stores):
@@ -95,6 +101,7 @@ class NodeRuntime:
         """Enqueue a MemoryTask or BatchTask at this runtime."""
         self.inflight += 1
         task.submit_time = self.sim.now
+        self._backlog_gauge.add(1)
         self.queue.put(task)
 
     @property
@@ -149,20 +156,24 @@ class NodeRuntime:
                 else self.high_cores
             req = pool.request()
             yield req
+            self._backlog_gauge.sub(1)
             # Queue wait: enqueue at the runtime until a CPU core of
-            # the right pool picks the task up.
+            # the right pool picks the task up. ``cause`` links back to
+            # the client-side submit span across the process boundary.
+            causal = {"cause": task.ctx} if task.ctx is not None else {}
             if tracer.enabled:
                 tracer.record(
                     f"wait:{task.kind.value}", "rt.queue",
                     self.node_id, task.submit_time, self.sim.now,
                     vector=task.vector_name, page=task.page_idx,
-                    pool="low" if pool is self.low_cores else "high")
+                    pool="low" if pool is self.low_cores else "high",
+                    **causal)
             try:
                 with tracer.span(f"exec:{task.kind.value}",
                                  "rt.service", node=self.node_id,
                                  vector=task.vector_name,
                                  page=task.page_idx,
-                                 nbytes=task.nbytes):
+                                 nbytes=task.nbytes, **causal):
                     result = yield from self.executor.execute(task)
                 if task.done is not None:
                     task.done.succeed(result)
@@ -187,17 +198,21 @@ class NodeRuntime:
             else self.high_cores
         req = pool.request()
         yield req
+        self._backlog_gauge.sub(1)
+        causal = {"cause": batch.ctx} if batch.ctx is not None else {}
         if tracer.enabled:
             tracer.record(
                 f"wait:batch:{batch.kind.value}", "rt.queue",
                 self.node_id, batch.submit_time, self.sim.now,
                 vector=batch.vector_name, count=len(batch),
-                pool="low" if pool is self.low_cores else "high")
+                pool="low" if pool is self.low_cores else "high",
+                **causal)
         try:
             with tracer.span(f"exec:batch:{batch.kind.value}",
                              "rt.service", node=self.node_id,
                              vector=batch.vector_name,
-                             count=len(batch), nbytes=batch.nbytes):
+                             count=len(batch), nbytes=batch.nbytes,
+                             **causal):
                 results = yield from self.executor.execute_batch(batch)
             if batch.done is not None:
                 batch.done.succeed(results)
@@ -241,6 +256,8 @@ class NodeRuntime:
             self.high_cores.set_capacity(cap + 1)
             self._low_streak = 0
             self.system.monitor.count(f"rt{self.node_id}.scale_up")
+            self.system.monitor.metrics.counter(
+                "rt_scale", node=self.node_id, direction="up").inc()
         elif backlog < cap:
             self._low_streak += 1
             if (self._low_streak >= cfg.scale_down_periods
@@ -248,6 +265,9 @@ class NodeRuntime:
                 self.high_cores.set_capacity(cap - 1)
                 self._low_streak = 0
                 self.system.monitor.count(f"rt{self.node_id}.scale_down")
+                self.system.monitor.metrics.counter(
+                    "rt_scale", node=self.node_id,
+                    direction="down").inc()
         else:
             self._low_streak = 0
 

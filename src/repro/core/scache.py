@@ -26,6 +26,13 @@ class ScacheExecutor:
         self.system = system
         self.node_id = node_id
         self.sim = system.sim
+        # Cached labeled-metric handles (the flat dotted counters stay
+        # for back-compat; these add the node/kind dimensions).
+        _m = system.monitor.metrics
+        self._m_reads = _m.counter("scache_ops", node=node_id,
+                                   kind="read")
+        self._m_writes = _m.counter("scache_ops", node=node_id,
+                                    kind="write")
 
     def execute(self, task: MemoryTask):
         """Dispatch one task. Generator; returns the READ payload or
@@ -258,11 +265,13 @@ class ScacheExecutor:
             if info is not None and info.replicas:
                 vec.replicated_pages.add(task.page_idx)
             self.system.monitor.count("scache.reads")
+            self._m_reads.inc()
             if task.region is None:
                 return raw
             off, size = task.region
             return raw[off:off + size]
         self.system.monitor.count("scache.reads")
+        self._m_reads.inc()
         if whole:
             raw = yield from hermes.get(task.client_node, vec.name,
                                         task.page_idx)
@@ -318,6 +327,7 @@ class ScacheExecutor:
                 raw = yield from rel.recover_page(vec, task.page_idx,
                                                   task.client_node)
             self.system.monitor.count("scache.reads")
+            self._m_reads.inc()
             if task.region is None:
                 results[i] = raw
             else:
@@ -364,6 +374,7 @@ class ScacheExecutor:
         vec.dirty_pages.add(task.page_idx)
         vec.replicated_pages.discard(task.page_idx)
         self.system.monitor.count("scache.writes")
+        self._m_writes.inc()
         rel = self.system.reliability
         if self.system.config.integrity_checks or rel.enabled:
             info = self.system.hermes.mdm.peek(vec.name, task.page_idx)

@@ -62,6 +62,8 @@ class DataStager:
         if avail < nbytes:
             raw += bytes(nbytes - avail)
         self.system.monitor.count("stager.bytes_in", avail)
+        self.system.monitor.metrics.counter(
+            "stager_bytes", node=node, direction="in").inc(avail)
         return raw
 
     def stage_in_extent(self, vec: SharedVector, page_idx: int,
@@ -106,6 +108,8 @@ class DataStager:
                 raw = b""
             raw += bytes(span - len(raw))
             self.system.monitor.count("stager.bytes_in", avail)
+            self.system.monitor.metrics.counter(
+                "stager_bytes", node=node, direction="in").inc(avail)
             off = 0
             for p in range(lo, hi + 1):
                 n = vec.page_nbytes(p)
@@ -153,6 +157,8 @@ class DataStager:
         # data (paper IV-B3).
         self.system.hermes.set_score(vec.name, page_idx, 0.0)
         self.system.monitor.count("stager.bytes_out", len(raw))
+        self.system.monitor.metrics.counter(
+            "stager_bytes", node=node, direction="out").inc(len(raw))
 
     def persist(self, vec: SharedVector, node: int):
         """Flush every dirty page of ``vec`` (explicit msync / vector

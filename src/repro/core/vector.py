@@ -31,7 +31,8 @@ from repro.core.transaction import Transaction, TxFlags
 class Frame:
     """One pcache page frame: private data + validity/dirty intervals."""
 
-    __slots__ = ("data", "valid", "dirty", "last_use", "pending")
+    __slots__ = ("data", "valid", "dirty", "last_use", "pending",
+                 "pending_span")
 
     def __init__(self, nbytes: int):
         self.data = np.zeros(nbytes, dtype=np.uint8)
@@ -39,6 +40,10 @@ class Frame:
         self.dirty = IntervalSet()
         self.last_use = 0
         self.pending = None  # in-flight fill event, if any
+        # Span id of the in-flight fill's prefetch span (tracing only):
+        # a fault that blocks on ``pending`` records it as ``wait_on``
+        # so the prefetch-issue -> install causal edge survives export.
+        self.pending_span = None
 
 
 @dataclass
@@ -76,6 +81,17 @@ class Vector:
         self._last_page: Tuple[int, Optional[Frame]] = (-1, None)
         self.index_ops = 0
         self._policy_epoch_seen = shared.policy_epoch
+        # Labeled-metric handles, fetched once (hot path pays only the
+        # attribute add); the flat dotted counters stay for back-compat.
+        _m = client.system.monitor.metrics
+        self._m_faults = _m.counter(
+            "pcache_faults", node=client.node, vector=shared.name)
+        self._m_prefetches = _m.counter(
+            "pcache_prefetches", node=client.node, vector=shared.name)
+        self._m_evict_dirty = _m.counter(
+            "pcache_evictions", node=client.node, kind="dirty")
+        self._m_evict_clean = _m.counter(
+            "pcache_evictions", node=client.node, kind="clean")
 
     # -- geometry / identity ---------------------------------------------------
     @property
@@ -456,6 +472,13 @@ class Vector:
         frame = yield from self._ensure_frame(page_idx, page_nbytes)
         if frame.pending is not None and not frame.pending.processed:
             yield frame.pending
+            if frame.pending_span is not None \
+                    and self.client.system.tracer.enabled:
+                # The fault blocked on an in-flight prefetch install;
+                # read the fill's span id only *after* the wait (the
+                # fill process assigns it when its span opens).
+                sp.attrs.setdefault("wait_on", []).append(
+                    frame.pending_span)
         if allocate_only:
             return frame
         missing = self._missing(frame, off, off + size)
@@ -465,6 +488,7 @@ class Vector:
                       and not self.tx.writes)
         for m_start, m_end in missing:
             self.client.system.monitor.count("pcache.faults")
+            self._m_faults.inc()
             task = MemoryTask(
                 kind=TaskKind.READ, vector_name=self.shared.name,
                 page_idx=page_idx, client_node=self.client.node,
@@ -531,10 +555,19 @@ class Vector:
             frame = yield from self._ensure_frame(page_idx, page_nbytes,
                                                   exclude=exclude)
             if frame.pending is not None and not frame.pending.processed:
-                yield frame.pending
+                with tracer.span("wait_install", "pcache",
+                                 node=self.client.node,
+                                 vector=self.shared.name,
+                                 page=page_idx) as wsp:
+                    yield frame.pending
+                    if frame.pending_span is not None \
+                            and tracer.enabled:
+                        wsp.attrs.setdefault("wait_on", []).append(
+                            frame.pending_span)
             frames[page_idx] = frame
             for m_start, m_end in self._missing(frame, off, off + size):
                 self.client.system.monitor.count("pcache.faults")
+                self._m_faults.inc()
                 tasks.append(MemoryTask(
                     kind=TaskKind.READ, vector_name=self.shared.name,
                     page_idx=page_idx, client_node=self.client.node,
@@ -585,9 +618,12 @@ class Vector:
         tracer = self.client.system.tracer
         with tracer.span("evict", "pcache", node=self.client.node,
                          vector=self.shared.name, page=page_idx,
-                         dirty_bytes=frame.dirty.total):
+                         dirty_bytes=frame.dirty.total) as esp:
             if frame.pending is not None and not frame.pending.processed:
                 yield frame.pending
+                if frame.pending_span is not None and tracer.enabled:
+                    esp.attrs.setdefault("wait_on", []).append(
+                        frame.pending_span)
             if frame.dirty:
                 # The frame was popped from self.frames above, so the
                 # WRITE task owns it exclusively: ship ndarray views of
@@ -608,8 +644,10 @@ class Vector:
                     fragments=fragments)
                 yield from self.client.submit(task, wait=False)
                 self.client.system.monitor.count("pcache.evictions_dirty")
+                self._m_evict_dirty.inc()
             else:
                 self.client.system.monitor.count("pcache.evictions_clean")
+                self._m_evict_clean.inc()
         self.client.unreserve_pcache(len(frame.data))
         self._reserved -= len(frame.data)
 
@@ -652,18 +690,28 @@ class Vector:
         if not admitted:
             return
         cfg = self.client.system.config
+        # Causal edge: the fill span (which runs in its own process)
+        # names the span that *issued* the read-ahead as its cause.
+        issue_ctx = self.client.system.tracer.current_span_id()
         if not cfg.batching_enabled or len(admitted) == 1:
             for page_idx, frame, task, page_nbytes in admitted:
-                self._spawn_fill(page_idx, frame, task, page_nbytes)
+                self._spawn_fill(page_idx, frame, task, page_nbytes,
+                                 issue_ctx)
             return
 
         def fill_batch():
             tracer = self.client.system.tracer
+            causal = {"cause": issue_ctx} if issue_ctx is not None \
+                else {}
             with tracer.span("prefetch_batch", "pcache",
                              node=self.client.node,
                              vector=self.shared.name,
                              count=len(admitted),
-                             nbytes=sum(n for _, _, _, n in admitted)):
+                             nbytes=sum(n for _, _, _, n in admitted),
+                             **causal) as bsp:
+                if tracer.enabled:
+                    for _p, fr, _t, _n in admitted:
+                        fr.pending_span = bsp.span_id
                 raws = yield from self.client.submit_batch(
                     [t for _, _, t, _ in admitted], wait=True)
                 for (page_idx, frame, _t, _n), raw in zip(admitted,
@@ -672,6 +720,7 @@ class Vector:
                         self._install(frame, 0, raw)
                     frame.pending = None
                     self.client.system.monitor.count("pcache.prefetches")
+                    self._m_prefetches.inc()
 
         proc = self.client.system.sim.process(
             fill_batch(),
@@ -680,19 +729,25 @@ class Vector:
             frame.pending = proc
 
     def _spawn_fill(self, page_idx: int, frame: Frame,
-                    task: MemoryTask, page_nbytes: int) -> None:
+                    task: MemoryTask, page_nbytes: int,
+                    issue_ctx: Optional[int] = None) -> None:
         def fill():
             tracer = self.client.system.tracer
+            causal = {"cause": issue_ctx} if issue_ctx is not None \
+                else {}
             with tracer.span("prefetch", "pcache",
                              node=self.client.node,
                              vector=self.shared.name, page=page_idx,
-                             nbytes=page_nbytes):
+                             nbytes=page_nbytes, **causal) as fsp:
+                if tracer.enabled:
+                    frame.pending_span = fsp.span_id
                 raw = yield from self.client.submit(task, wait=True)
                 if page_idx in self.frames \
                         and self.frames[page_idx] is frame:
                     self._install(frame, 0, raw)
                 frame.pending = None
                 self.client.system.monitor.count("pcache.prefetches")
+                self._m_prefetches.inc()
 
         frame.pending = self.client.system.sim.process(
             fill(), name=f"prefetch {self.shared.name}[{page_idx}]")

@@ -209,6 +209,8 @@ class Hermes:
         yield from self.mdm.put(client_node, info)
         if self.monitor is not None:
             self.monitor.count("hermes.puts")
+            self.monitor.metrics.counter(
+                "hermes_puts", node=node, tier=dev.spec.kind).inc()
         return info
 
     def put_many(self, client_node: int, bucket: str, items,
@@ -264,6 +266,9 @@ class Hermes:
                 out[key] = info
                 if self.monitor is not None:
                     self.monitor.count("hermes.puts")
+                    self.monitor.metrics.counter(
+                        "hermes_puts", node=node,
+                        tier=dev.spec.kind).inc()
             finally:
                 lock.release()
         if new_infos:
@@ -311,6 +316,8 @@ class Hermes:
         yield from self.network.transfer(node, client_node, len(raw))
         if self.monitor is not None:
             self.monitor.count("hermes.gets")
+            self.monitor.metrics.counter(
+                "hermes_gets", node=node, tier=tier).inc()
         return raw
 
     def get_many(self, client_node: int, bucket: str, keys):
@@ -344,6 +351,8 @@ class Hermes:
             by_src[node] = by_src.get(node, 0) + len(raw)
             if self.monitor is not None:
                 self.monitor.count("hermes.gets")
+                self.monitor.metrics.counter(
+                    "hermes_gets", node=node, tier=tier).inc()
         for node, nbytes in by_src.items():
             yield from self.network.transfer(node, client_node, nbytes)
         if self.monitor is not None and out:
@@ -444,6 +453,7 @@ class Hermes:
             raise BlobNotFound((bucket, key))
         if info.tier == to_tier and info.node == node:
             return info
+        from_tier = info.tier
         with self.tracer.span("move", "hermes", node=info.node,
                               bucket=bucket, key=key,
                               src_tier=info.tier, dst_node=node,
@@ -464,6 +474,9 @@ class Hermes:
             info.node, info.tier = node, to_tier
         if self.monitor is not None:
             self.monitor.count("hermes.moves")
+            self.monitor.metrics.counter(
+                "hermes_moves", node=node, src_tier=from_tier,
+                dst_tier=to_tier).inc()
         return info
 
     def delete(self, client_node: int, bucket: str, key):

@@ -57,6 +57,9 @@ class Network:
         self.bytes_moved = 0
         #: Span tracer; the embedding system installs its own.
         self.tracer = NOOP_TRACER
+        # Per-source-node labeled handles, filled lazily on first
+        # transfer from each node (one dict hit per transfer after).
+        self._m_per_src: dict = {}
 
     def rack_of(self, node: int) -> int:
         return node // self.rack_size
@@ -104,6 +107,14 @@ class Network:
         if self.monitor is not None:
             self.monitor.count("net.bytes", nbytes)
             self.monitor.count("net.transfers")
+            handles = self._m_per_src.get(src)
+            if handles is None:
+                handles = self._m_per_src[src] = (
+                    self.monitor.metrics.counter("net_bytes", node=src),
+                    self.monitor.metrics.counter("net_transfers",
+                                                 node=src))
+            handles[0].inc(nbytes)
+            handles[1].inc()
 
     def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
         """Uncontended estimate (used by the prefetcher's score model)."""

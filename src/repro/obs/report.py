@@ -1,0 +1,260 @@
+"""Triage reports over a :class:`~repro.obs.graph.SpanGraph`.
+
+:func:`analyze` distills a graph (plus, in live mode, the run's
+:class:`~repro.sim.monitor.Monitor`) into one JSON-serializable dict;
+:func:`render_report` pretty-prints it; :func:`diff_analyses` /
+:func:`render_diff` align two runs by span category and report which
+categories account for the runtime delta.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.obs.graph import SpanGraph
+
+__all__ = ["analyze", "render_report", "diff_analyses", "render_diff"]
+
+#: Relative tolerance for the Little's-law cross-check between the
+#: span-derived L and the independently sampled backlog gauge. Loose on
+#: purpose: the gauge measures queue+dispatch residency over the whole
+#: run while the spans measure completed waits.
+LITTLE_RTOL = 0.5
+
+_SPARK = " .:-=+*#%@"
+
+
+def _sparkline(series, t0: float, t1: float, width: int = 40) -> str:
+    """Render a step-function TimeSeries as a fixed-width occupancy
+    strip (each cell is the time-average level over its bucket)."""
+    samples = series.samples
+    if not samples or t1 <= t0:
+        return ""
+    peak = max(v for _, v in samples) or 1.0
+    cells = []
+    step = (t1 - t0) / width
+    idx = 0
+    value = 0.0
+    for b in range(width):
+        lo, hi = t0 + b * step, t0 + (b + 1) * step
+        area = 0.0
+        t = lo
+        while idx < len(samples) and samples[idx][0] <= hi:
+            st, sv = samples[idx]
+            if st > t:
+                area += value * (st - t)
+                t = st
+            value = sv
+            idx += 1
+        area += value * (hi - t)
+        level = (area / step) / peak
+        cells.append(_SPARK[min(len(_SPARK) - 1,
+                                int(level * (len(_SPARK) - 1) + 0.5))])
+    return "".join(cells)
+
+
+def analyze(graph: SpanGraph, monitor=None,
+            top_k: int = 10) -> Dict[str, Any]:
+    """Distill a span graph into the report dict.
+
+    ``monitor`` (live mode only — unavailable when analyzing a trace
+    file) adds per-tier occupancy timelines from the ``*.used`` gauges
+    and the independent backlog-gauge leg of the Little's-law check.
+    """
+    t0, t1 = graph.window
+    breakdown = graph.critical_breakdown()
+    queueing = graph.queueing_stats()
+    if monitor is not None:
+        for (name, labels), g in monitor.metrics.gauges.items():
+            if name != "rt_backlog":
+                continue
+            node = dict(labels).get("node")
+            key = f"node{node}"
+            if key in queueing:
+                q = queueing[key]
+                gauge_l = g.time_average()
+                q["gauge_L"] = gauge_l
+                # Both legs near zero is trivially consistent.
+                scale = max(q["little_L"], gauge_l, 1e-12)
+                q["consistent"] = bool(
+                    abs(q["little_L"] - gauge_l) / scale <= LITTLE_RTOL
+                    or max(q["little_L"], gauge_l) < 0.05)
+    occupancy: Dict[str, Dict[str, Any]] = {}
+    if monitor is not None:
+        for name, gauge in sorted(monitor.gauges.items()):
+            if not name.endswith(".used") \
+                    or not name.startswith("node"):
+                continue
+            occupancy[name[:-len(".used")]] = {
+                "peak": gauge.peak,
+                "avg": gauge.time_average(),
+                "timeline": _sparkline(gauge.series, t0, t1),
+            }
+    return {
+        "t0": t0,
+        "t1": t1,
+        "makespan": graph.makespan,
+        "n_spans": len(graph),
+        "critical_path": breakdown,
+        "overlap_ratio": graph.overlap_ratio(),
+        "top_spans": [
+            {"name": s.name, "category": s.category, "node": s.node,
+             "start": s.start, "duration": s.duration,
+             "unfinished": s.unfinished}
+            for s in graph.top_spans(top_k)],
+        "queueing": queueing,
+        "occupancy": occupancy,
+    }
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _bar(frac: float, width: int = 28) -> str:
+    n = int(round(max(0.0, min(1.0, frac)) * width))
+    return "#" * n + "-" * (width - n)
+
+
+def render_report(analysis: Dict[str, Any],
+                  title: str = "run") -> str:
+    """Human-readable triage report for one analyzed run."""
+    lines: List[str] = []
+    mk = analysis["makespan"]
+    cp = analysis["critical_path"]
+    lines.append(f"== repro report: {title} ==")
+    lines.append(f"makespan            {_fmt_s(mk)}   "
+                 f"({analysis['n_spans']} spans)")
+    lines.append(f"critical path total {_fmt_s(cp['total'])}")
+    lines.append(f"overlap ratio       "
+                 f"{analysis['overlap_ratio'] * 100:.1f}%  "
+                 f"(I/O time shadowed by compute)")
+    lines.append("")
+    lines.append("critical path by category:")
+    total = max(cp["total"], 1e-30)
+    for cat, dur in sorted(cp["by_category"].items(),
+                           key=lambda kv: -kv[1]):
+        lines.append(f"  {cat:<16} {_fmt_s(dur):>10}  "
+                     f"{dur / total * 100:5.1f}%  "
+                     f"{_bar(dur / total)}")
+    if cp.get("by_node"):
+        lines.append("critical path by node:")
+        for node, dur in sorted(cp["by_node"].items(),
+                                key=lambda kv: -kv[1]):
+            lines.append(f"  {node:<16} {_fmt_s(dur):>10}  "
+                         f"{dur / total * 100:5.1f}%")
+    tiers = {t: d for t, d in (cp.get("by_tier") or {}).items()
+             if t != "-"}
+    if tiers:
+        lines.append("critical path by tier:")
+        for tier, dur in sorted(tiers.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {tier:<16} {_fmt_s(dur):>10}  "
+                         f"{dur / total * 100:5.1f}%")
+    lines.append("")
+    lines.append(f"top {len(analysis['top_spans'])} spans:")
+    for s in analysis["top_spans"]:
+        mark = "  [unfinished]" if s.get("unfinished") else ""
+        lines.append(f"  {_fmt_s(s['duration']):>10}  "
+                     f"{s['category']}:{s['name']}  node={s['node']}  "
+                     f"@{s['start']:.4f}{mark}")
+    if analysis.get("queueing"):
+        lines.append("")
+        lines.append("runtime queueing (Little's law: L = lambda*W):")
+        for node, q in sorted(analysis["queueing"].items()):
+            extra = ""
+            if "gauge_L" in q:
+                verdict = "ok" if q.get("consistent") else "MISMATCH"
+                extra = (f"  gauge L={q['gauge_L']:.3f} "
+                         f"[{verdict}]")
+            lines.append(
+                f"  {node}: n={int(q['count'])} "
+                f"lambda={q['arrival_rate']:.1f}/s "
+                f"W={_fmt_s(q['mean_wait'])} "
+                f"L={q['little_L']:.3f}{extra}")
+    if analysis.get("occupancy"):
+        lines.append("")
+        lines.append("tier occupancy (time ->):")
+        for dev, occ in sorted(analysis["occupancy"].items()):
+            lines.append(
+                f"  {dev:<14} |{occ['timeline']}| "
+                f"peak={occ['peak'] / 2 ** 20:.1f}MB "
+                f"avg={occ['avg'] / 2 ** 20:.1f}MB")
+    return "\n".join(lines)
+
+
+def diff_analyses(a: Dict[str, Any], b: Dict[str, Any]
+                  ) -> Dict[str, Any]:
+    """Align two analyzed runs by critical-path category and report
+    which categories account for the makespan delta (B - A)."""
+    cat_a = a["critical_path"]["by_category"]
+    cat_b = b["critical_path"]["by_category"]
+    cats = sorted(set(cat_a) | set(cat_b))
+    deltas = []
+    for cat in cats:
+        da, db = cat_a.get(cat, 0.0), cat_b.get(cat, 0.0)
+        deltas.append({"category": cat, "a": da, "b": db,
+                       "delta": db - da})
+    deltas.sort(key=lambda d: -abs(d["delta"]))
+    total_delta = b["makespan"] - a["makespan"]
+    abs_sum = sum(abs(d["delta"]) for d in deltas) or 1e-30
+    for d in deltas:
+        d["share"] = abs(d["delta"]) / abs_sum
+    return {
+        "makespan_a": a["makespan"],
+        "makespan_b": b["makespan"],
+        "makespan_delta": total_delta,
+        "overlap_ratio_a": a.get("overlap_ratio"),
+        "overlap_ratio_b": b.get("overlap_ratio"),
+        "by_category": deltas,
+    }
+
+
+def render_diff(diff: Dict[str, Any], label_a: str = "A",
+                label_b: str = "B") -> str:
+    lines: List[str] = []
+    lines.append(f"== repro diff: {label_a} vs {label_b} ==")
+    lines.append(f"makespan {label_a}={_fmt_s(diff['makespan_a'])}  "
+                 f"{label_b}={_fmt_s(diff['makespan_b'])}  "
+                 f"delta={diff['makespan_delta']:+.6f}s")
+    if diff.get("overlap_ratio_a") is not None:
+        lines.append(
+            f"overlap ratio {label_a}="
+            f"{diff['overlap_ratio_a'] * 100:.1f}%  {label_b}="
+            f"{diff['overlap_ratio_b'] * 100:.1f}%")
+    lines.append("")
+    lines.append(f"critical-path delta by category ({label_b} - "
+                 f"{label_a}, largest first):")
+    for d in diff["by_category"]:
+        if math.isclose(d["delta"], 0.0, abs_tol=1e-12):
+            continue
+        lines.append(
+            f"  {d['category']:<16} {d['delta']:+.6f}s  "
+            f"({d['share'] * 100:5.1f}% of total change)  "
+            f"[{_fmt_s(d['a'])} -> {_fmt_s(d['b'])}]")
+    return "\n".join(lines)
+
+
+def analysis_summary(analysis: Dict[str, Any]) -> Dict[str, Any]:
+    """Compact slice of an analysis for embedding in BENCH_*.json
+    records (`benchmarks.common.emit_result` breakdown field)."""
+    return {
+        "total": analysis["critical_path"]["total"],
+        "by_category": analysis["critical_path"]["by_category"],
+        "overlap_ratio": analysis["overlap_ratio"],
+        "makespan": analysis["makespan"],
+    }
+
+
+def queueing_is_consistent(analysis: Dict[str, Any]) -> Optional[bool]:
+    """True/False when the gauge leg of the Little's-law check was
+    available on every queue; None for trace-file analyses."""
+    qs = analysis.get("queueing") or {}
+    flags = [q["consistent"] for q in qs.values() if "consistent" in q]
+    if not flags:
+        return None
+    return all(flags)

@@ -235,13 +235,17 @@ def _get_path(spec: Dict[str, Any], dotted: str) -> Any:
 
 
 def run_pipeline(text_or_path: str, workdir: Optional[str] = None,
-                 trace_path: Optional[str] = None
+                 trace_path: Optional[str] = None,
+                 on_variant: Optional[Callable] = None
                  ) -> List[Dict[str, Any]]:
     """Execute a pipeline; returns (and persists) the stats rows.
 
     ``trace_path`` enables span tracing on every variant's cluster and
     writes Chrome-trace-format JSON there (sweep variants append
-    ``.<i>`` before the extension).
+    ``.<i>`` before the extension). ``on_variant(cluster, variant,
+    row)`` is invoked after each variant completes, while the cluster
+    (tracer, monitor) is still live — the hook `repro report` uses for
+    live-mode analysis.
     """
     if os.path.exists(text_or_path):
         with open(text_or_path, encoding="utf-8") as fh:
@@ -266,13 +270,23 @@ def run_pipeline(text_or_path: str, workdir: Optional[str] = None,
         cluster = build_cluster(variant.get("cluster"))
         if trace_path:
             cluster.tracer.enabled = True
-        res = APP_REGISTRY[kind](cluster, variant, workdir)
         trace_file = None
         if trace_path:
             trace_file = trace_path
             if len(variants) > 1:
                 root, ext = os.path.splitext(trace_path)
                 trace_file = f"{root}.{i}{ext or '.json'}"
+        try:
+            res = APP_REGISTRY[kind](cluster, variant, workdir)
+        except BaseException:
+            # Still export the partial trace on a mid-run crash —
+            # spans open at the failure point come out clipped at
+            # sim.now with an `unfinished` marker, which is exactly
+            # the timeline a post-mortem needs.
+            if trace_file:
+                cluster.export_trace(trace_file)
+            raise
+        if trace_file:
             cluster.export_trace(trace_file)
         row: Dict[str, Any] = {
             "app": variant.get("name", kind),
@@ -291,6 +305,8 @@ def run_pipeline(text_or_path: str, workdir: Optional[str] = None,
             row[axis["key"]] = _get_path(variant, axis["key"])
         if trace_file:
             row["trace_file"] = trace_file
+        if on_variant is not None:
+            on_variant(cluster, variant, row)
         rows.append(row)
     out_name = spec.get("output", "stats_dict.csv")
     out_path = os.path.join(workdir, out_name)

@@ -6,14 +6,31 @@ which Jarvis aggregates into a ``stats_dict.csv``. :class:`Monitor`
 plays that role: simulated components record gauges (bytes resident in
 DRAM, device queue depth, ...) and counters (bytes read/written, page
 faults), and the benchmark harness aggregates peaks/averages per run.
+
+:class:`MetricsRegistry` adds *dimensioned* metrics on top of the flat
+dotted-name counters: counters, gauges, and histograms labeled by
+``node=``, ``tier=``, ``category=`` (any string labels), with
+Prometheus-text and JSON snapshot exporters. Hot call sites fetch a
+handle once (``ctr = monitor.metrics.counter("pcache_faults",
+node=0)``) and pay one attribute add per event — the same
+zero-cost-when-hot pattern the tracer uses, so enabling the registry
+does not slow the fast kernel.
 """
 
 from __future__ import annotations
 
 import math
+import re
 from typing import Dict, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
+
+#: Sorted, hashable form of a labels dict.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
 class TimeSeries:
@@ -94,6 +111,216 @@ class Gauge:
         return self.series.time_average(until=self.monitor.sim.now)
 
 
+class LabeledCounter:
+    """Monotonic counter for one (name, labelset). Handles are cheap
+    to hold: hot sites fetch once and call :meth:`inc` per event."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, delta: float = 1.0) -> None:
+        self.value += delta
+
+
+class LabeledGauge:
+    """Instantaneous quantity for one (name, labelset), sampled as a
+    step-function time series against simulated time so reports can
+    compute a time average (the Little's-law L comparison)."""
+
+    __slots__ = ("sim", "value", "series")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.value = 0.0
+        self.series = TimeSeries()
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.series.record(self.sim.now, value)
+
+    def add(self, delta: float = 1.0) -> None:
+        self.set(self.value + delta)
+
+    def sub(self, delta: float = 1.0) -> None:
+        self.set(self.value - delta)
+
+    @property
+    def peak(self) -> float:
+        return self.series.peak
+
+    def time_average(self) -> float:
+        return self.series.time_average(until=self.sim.now)
+
+
+class LabeledHistogram:
+    """Observation histogram for one (name, labelset); exported as
+    Prometheus summary quantiles (nearest-rank, matching the
+    tracer's percentile convention)."""
+
+    __slots__ = ("observations",)
+
+    def __init__(self):
+        self.observations: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.observations.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.observations)
+
+    @property
+    def total(self) -> float:
+        return sum(self.observations)
+
+    def percentile(self, q: float) -> float:
+        obs = self.observations
+        if not obs:
+            return 0.0
+        ordered = sorted(obs)
+        rank = max(0, min(len(ordered) - 1,
+                          int(-(-q * len(ordered) // 100)) - 1))
+        return ordered[rank]
+
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LINE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})?\s+(\S+)$')
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _prom_name(name: str) -> str:
+    """Dotted metric name → Prometheus-legal name."""
+    return _NAME_RE.sub("_", name)
+
+
+def _prom_escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_unescape(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def _prom_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_prom_escape(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, LabelSet], float]:
+    """Parse Prometheus exposition text back into
+    ``{(metric_name, labelset): value}`` — the round-trip half of
+    :meth:`MetricsRegistry.to_prometheus`, used by tests and by
+    ``repro diff`` when handed exported snapshots."""
+    out: Dict[Tuple[str, LabelSet], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            continue
+        name, labelstr, value = m.groups()
+        labels: List[Tuple[str, str]] = []
+        if labelstr:
+            for lm in _LABEL_RE.finditer(labelstr):
+                labels.append((lm.group(1), _prom_unescape(lm.group(2))))
+        out[(name, tuple(sorted(labels)))] = float(value)
+    return out
+
+
+class MetricsRegistry:
+    """Dimensioned counters/gauges/histograms keyed by (name, labels).
+
+    ``monitor.metrics.counter("scache_ops", node=0, kind="read")``
+    gets-or-creates a handle; labels are normalized to a sorted tuple
+    of string pairs so any kwarg order maps to the same series.
+    """
+
+    def __init__(self, monitor: "Monitor"):
+        self.monitor = monitor
+        self.counters: Dict[Tuple[str, LabelSet], LabeledCounter] = {}
+        self.gauges: Dict[Tuple[str, LabelSet], LabeledGauge] = {}
+        self.histograms: Dict[Tuple[str, LabelSet],
+                              LabeledHistogram] = {}
+
+    def counter(self, name: str, **labels) -> LabeledCounter:
+        key = (name, _labelset(labels))
+        handle = self.counters.get(key)
+        if handle is None:
+            handle = self.counters[key] = LabeledCounter()
+        return handle
+
+    def gauge(self, name: str, **labels) -> LabeledGauge:
+        key = (name, _labelset(labels))
+        handle = self.gauges.get(key)
+        if handle is None:
+            handle = self.gauges[key] = LabeledGauge(self.monitor.sim)
+        return handle
+
+    def histogram(self, name: str, **labels) -> LabeledHistogram:
+        key = (name, _labelset(labels))
+        handle = self.histograms.get(key)
+        if handle is None:
+            handle = self.histograms[key] = LabeledHistogram()
+        return handle
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable dump: each series as ``{name, labels,
+        ...stats}``; gauges carry value/peak/avg, histograms carry
+        count/total and nearest-rank quantiles."""
+        counters = [
+            {"name": name, "labels": dict(ls), "value": c.value}
+            for (name, ls), c in sorted(self.counters.items())]
+        gauges = [
+            {"name": name, "labels": dict(ls), "value": g.value,
+             "peak": g.peak, "avg": g.time_average()}
+            for (name, ls), g in sorted(self.gauges.items())]
+        hists = [
+            {"name": name, "labels": dict(ls), "count": h.count,
+             "total": h.total,
+             "p50": h.percentile(50), "p95": h.percentile(95),
+             "p99": h.percentile(99)}
+            for (name, ls), h in sorted(self.histograms.items())]
+        return {"counters": counters, "gauges": gauges,
+                "histograms": hists}
+
+    def to_prometheus(self) -> str:
+        """Prometheus exposition text. Dotted names become
+        underscore-names; histograms render as summaries
+        (``quantile=`` series plus ``_count``/``_sum``)."""
+        lines: List[str] = []
+        typed = set()
+
+        def emit(name: str, kind: str, labels: LabelSet,
+                 value: float) -> None:
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name}{_prom_labels(labels)} {value:g}")
+
+        for (name, ls), c in sorted(self.counters.items()):
+            emit(_prom_name(name), "counter", ls, c.value)
+        for (name, ls), g in sorted(self.gauges.items()):
+            emit(_prom_name(name), "gauge", ls, g.value)
+        for (name, ls), h in sorted(self.histograms.items()):
+            pname = _prom_name(name)
+            for q in (50, 95, 99):
+                emit(pname, "summary",
+                     ls + (("quantile", f"0.{q}"),),
+                     h.percentile(q))
+            emit(f"{pname}_count", "counter", ls, float(h.count))
+            emit(f"{pname}_sum", "counter", ls, h.total)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
 class Monitor:
     """Registry of gauges and counters keyed by dotted names."""
 
@@ -101,6 +328,8 @@ class Monitor:
         self.sim = sim
         self.gauges: Dict[str, Gauge] = {}
         self.counters: Dict[str, float] = {}
+        #: Dimensioned (labeled) metrics; see :class:`MetricsRegistry`.
+        self.metrics = MetricsRegistry(self)
         #: Optional :class:`~repro.sim.trace.Tracer` whose per-category
         #: latency percentiles fold into :meth:`summary`.
         self.tracer = None

@@ -23,6 +23,24 @@ Design constraints:
 * **Chrome trace export.** :meth:`Tracer.export_chrome` writes the
   Trace Event Format JSON (``ph: "X"`` complete events plus thread
   metadata) that ``chrome://tracing`` and Perfetto load directly.
+  Spans still open at export time (a pipeline that raised mid-run)
+  are emitted closed at the current simulated time with an
+  ``unfinished: true`` attribute, so crash traces load too.
+
+Causal-edge contract (consumed by :mod:`repro.obs`): spans carry
+cross-process causality in their *attributes*, so the edges survive
+the Chrome JSON round trip unchanged:
+
+* ``cause: <span_id>`` on a span means "the span with that id caused
+  this one across a process boundary" (an RPC submit causing the
+  owning runtime's queue-wait and service spans, a prefetch issue
+  causing the fill).
+* ``wait_on: [<span_id>, ...]`` on a span means "this span blocked on
+  those spans" (a fault waiting for an in-flight prefetch install).
+
+:meth:`Tracer.current_span_id` exposes the innermost open span of the
+active simulated process so call sites can stamp ``cause`` onto work
+they hand to another process.
 """
 
 from __future__ import annotations
@@ -157,6 +175,25 @@ class Tracer:
         proc = self.sim._active
         return proc.name if proc is not None else "main"
 
+    def current_span_id(self) -> Optional[int]:
+        """Id of the innermost open span of the active simulated
+        process (None when disabled or no span is open). Call sites
+        stamp this onto cross-process work as the ``cause`` attr."""
+        if not self.enabled:
+            return None
+        proc = self.sim._active
+        stack = self._stacks.get(id(proc) if proc is not None else 0)
+        return stack[-1].span_id if stack else None
+
+    def open_spans(self) -> List[Span]:
+        """Spans opened but not yet closed (innermost last per
+        process). Nonempty during a run, or after a crash unwound
+        processes without running their ``__exit__`` handlers."""
+        out: List[Span] = []
+        for stack in self._stacks.values():
+            out.extend(stack)
+        return out
+
     def _open(self, span: Span) -> int:
         proc = self.sim._active
         key = id(proc) if proc is not None else 0
@@ -233,11 +270,27 @@ class Tracer:
 
     # -- export ------------------------------------------------------------
     def to_chrome_events(self) -> List[Dict[str, Any]]:
-        """Spans as Chrome Trace Event Format dicts (µs timestamps)."""
+        """Spans as Chrome Trace Event Format dicts (µs timestamps).
+
+        Spans still open (a pipeline crashed mid-run and its ``with``
+        blocks never ran ``__exit__``) are emitted closed at the
+        current simulated time and tagged ``unfinished: true`` — a
+        crash trace must still load in Perfetto. The live Span objects
+        are not mutated: a span that later closes normally records its
+        real end.
+        """
         events: List[Dict[str, Any]] = []
         tids: Dict[Tuple[int, str], int] = {}
         pids = set()
-        for span in self.spans:
+        now = self.sim.now if self.sim is not None else 0.0
+        open_ids = set()
+        pending: List[Tuple[Span, bool]] = []
+        for span in self.open_spans():
+            open_ids.add(span.span_id)
+            pending.append((span, True))
+        closed = [(s, False) for s in self.spans
+                  if s.span_id not in open_ids]
+        for span, unfinished in closed + pending:
             pid = span.node if span.node >= 0 else -1
             tkey = (pid, span.track)
             tid = tids.get(tkey)
@@ -256,10 +309,14 @@ class Tracer:
             if span.parent_id is not None:
                 args["parent"] = span.parent_id
             args["id"] = span.span_id
+            end = span.end
+            if unfinished:
+                args["unfinished"] = True
+                end = max(now, span.start)
             events.append({
                 "name": span.name, "cat": span.category, "ph": "X",
                 "ts": span.start * 1e6,
-                "dur": (span.end - span.start) * 1e6,
+                "dur": (end - span.start) * 1e6,
                 "pid": pid, "tid": tid, "args": args})
         return events
 

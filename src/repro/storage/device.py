@@ -85,6 +85,18 @@ class Device:
         self.used = 0
         self.bytes_read = 0
         self.bytes_written = 0  # doubles as the wear counter
+        # Cached labeled-metric handles (the flat f-string counters and
+        # the `{name}.used` gauge stay for back-compat).
+        if monitor is not None:
+            _m = monitor.metrics
+            self._m_read = _m.counter("device_bytes", device=name,
+                                      tier=spec.kind, direction="read")
+            self._m_write = _m.counter("device_bytes", device=name,
+                                       tier=spec.kind, direction="write")
+            self._m_used = _m.gauge("device_used", device=name,
+                                    tier=spec.kind)
+        else:
+            self._m_read = self._m_write = self._m_used = None
 
     # -- capacity --------------------------------------------------------
     @property
@@ -118,6 +130,7 @@ class Device:
         if self.monitor is not None:
             direction = "write" if write else "read"
             self.monitor.count(f"{self.name}.bytes_{direction}", nbytes)
+            (self._m_write if write else self._m_read).inc(nbytes)
 
     def put(self, key, data):
         """Timed write of a blob (replaces any existing blob at ``key``).
@@ -143,6 +156,7 @@ class Device:
         self.bytes_written += len(raw)
         if self.monitor is not None:
             self.monitor.gauge(f"{self.name}.used").set(self.used)
+            self._m_used.set(self.used)
 
     def get(self, key):
         """Timed read returning the blob's bytes. Generator."""
@@ -193,6 +207,7 @@ class Device:
         self.used += nbytes
         if self.monitor is not None:
             self.monitor.gauge(f"{self.name}.used").set(self.used)
+            self._m_used.set(self.used)
 
     def unreserve(self, nbytes: int) -> None:
         if nbytes > self.used:  # pragma: no cover - defensive
@@ -201,6 +216,7 @@ class Device:
         self.used -= nbytes
         if self.monitor is not None:
             self.monitor.gauge(f"{self.name}.used").set(self.used)
+            self._m_used.set(self.used)
 
     def charge(self, nbytes: int, write: bool):
         """Timed transfer without blob storage (striped/remote I/O paths
@@ -223,6 +239,7 @@ class Device:
         self.used -= len(raw)
         if self.monitor is not None:
             self.monitor.gauge(f"{self.name}.used").set(self.used)
+            self._m_used.set(self.used)
         return len(raw)
 
     def _as_bytes(self, data) -> bytes:

@@ -1,0 +1,134 @@
+"""Acceptance tests for the critical-path analyzer (ISSUE PR 4).
+
+* On the fixed-seed two-node KMeans pipeline, `repro report` produces
+  a critical path whose category durations sum to the makespan within
+  1%.
+* `repro diff` of batching-on vs batching-off attributes the majority
+  of the runtime delta to the rpc/net categories.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.common import testbed
+from repro.core import MM_READ_WRITE, MM_WRITE_ONLY, SeqTx
+from repro.obs import SpanGraph, analyze, diff_analyses, load_trace, \
+    render_diff, render_report
+from repro.pipeline import run_pipeline
+
+KMEANS_2N = """
+name: KMeans-2n
+cluster:
+  n_nodes: 2
+  procs_per_node: 2
+  dram_mb: 16
+  nvme_mb: 64
+  page_size: 65536
+  seed: 0
+dataset:
+  kind: points
+  n: 4000
+  k: 4
+  seed: 7
+  path: pts.parquet
+app:
+  kind: mm_kmeans
+  k: 4
+  max_iter: 2
+  seed: 0
+"""
+
+PAGE = 64 * 1024
+EXCHANGE_PAGES = 16
+
+
+def test_kmeans_report_categories_sum_to_makespan(tmp_path):
+    trace = tmp_path / "km.json"
+    rows = run_pipeline(KMEANS_2N, workdir=str(tmp_path),
+                        trace_path=str(trace))
+    assert len(rows) == 1 and not rows[0]["crashed"]
+    graph = load_trace(str(trace))
+    assert len(graph) > 0
+    analysis = analyze(graph)
+    cp = analysis["critical_path"]
+    makespan = analysis["makespan"]
+    assert makespan > 0
+    # The acceptance bound: per-category durations tile the makespan.
+    assert abs(sum(cp["by_category"].values()) - makespan) \
+        <= 0.01 * makespan
+    assert abs(cp["total"] - makespan) <= 0.01 * makespan
+    # Overlap ratio is present and finite.
+    assert math.isfinite(analysis["overlap_ratio"])
+    assert 0.0 <= analysis["overlap_ratio"] <= 1.0
+    # Queueing stats cover the runtime queues seen in the trace.
+    assert analysis["queueing"], "no rt.queue spans analyzed"
+    for q in analysis["queueing"].values():
+        assert q["little_L"] == pytest.approx(
+            q["arrival_rate"] * q["mean_wait"])
+    # The text renderer covers the whole analysis without crashing.
+    text = render_report(analysis, title="km")
+    assert "critical path by category" in text
+    assert "overlap ratio" in text
+
+
+def _exchange(ctx, n_pages):
+    half = n_pages * PAGE
+    vec = yield from ctx.mm.vector("diffbench", dtype=np.uint8,
+                                   size=2 * half)
+    lo = ctx.rank * half
+    data = ((np.arange(half) + ctx.rank) % 199).astype(np.uint8)
+    yield from vec.tx_begin(SeqTx(lo, half, MM_WRITE_ONLY))
+    yield from vec.write_range(lo, data)
+    yield from vec.tx_end()
+    yield from vec.flush(wait=True)
+    yield from ctx.barrier()
+    other = (1 - ctx.rank) * half
+    yield from vec.tx_begin(SeqTx(other, half, MM_READ_WRITE))
+    out = yield from vec.read_range(other, half)
+    yield from vec.tx_end()
+    yield from ctx.mm.drain()
+    return out
+
+
+def _run_exchange(batching: bool):
+    c = testbed(n_nodes=2, procs_per_node=1,
+                pcache=(EXCHANGE_PAGES + 4) * PAGE,
+                batching_enabled=batching, prefetch_enabled=False,
+                trace=True)
+    res = c.run(_exchange, EXCHANGE_PAGES)
+    graph = SpanGraph.from_tracer(c.tracer)
+    return analyze(graph, monitor=c.monitor), res
+
+
+def test_diff_attributes_batching_delta_to_rpc_and_net():
+    a_on, res_on = _run_exchange(batching=True)
+    a_off, res_off = _run_exchange(batching=False)
+    # Batching must actually have been faster for the diff to mean
+    # anything.
+    assert res_on.runtime < res_off.runtime
+    diff = diff_analyses(a_on, a_off)
+    assert diff["makespan_delta"] > 0
+    wire = [d for d in diff["by_category"]
+            if d["category"].startswith(("rpc", "net"))]
+    # The acceptance bound: rpc/net categories carry the majority of
+    # the total per-category change.
+    assert sum(d["share"] for d in wire) > 0.5, diff["by_category"]
+    # And they moved in the right direction (per-page costs more).
+    assert sum(d["delta"] for d in wire) > 0
+    text = render_diff(diff, label_a="batched", label_b="per-page")
+    assert "critical-path delta by category" in text
+
+
+def test_live_analysis_includes_gauge_leg_and_occupancy():
+    analysis, _ = _run_exchange(batching=True)
+    # Live mode (monitor passed) adds the independent Little's-law leg
+    # and tier occupancy timelines; trace-file mode cannot.
+    assert any("gauge_L" in q for q in analysis["queueing"].values())
+    for q in analysis["queueing"].values():
+        if "gauge_L" in q:
+            assert "consistent" in q
+    assert analysis["occupancy"]
+    for occ in analysis["occupancy"].values():
+        assert occ["peak"] >= occ["avg"] >= 0

@@ -1,0 +1,150 @@
+"""Labeled metrics registry + Monitor.summary() edge cases."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.monitor import Monitor, parse_prometheus
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def monitor(sim):
+    return Monitor(sim)
+
+
+# -- registry semantics -----------------------------------------------------
+
+def test_counter_get_or_create_is_identity(monitor):
+    a = monitor.metrics.counter("net_bytes", node=3)
+    b = monitor.metrics.counter("net_bytes", node=3)
+    assert a is b
+    # Label order never matters.
+    c = monitor.metrics.counter("x", tier="dram", node=0)
+    d = monitor.metrics.counter("x", node=0, tier="dram")
+    assert c is d
+    # Different labels are different series.
+    assert monitor.metrics.counter("net_bytes", node=4) is not a
+
+
+def test_counter_accumulates(monitor):
+    ctr = monitor.metrics.counter("scache_ops", node=1, kind="read")
+    ctr.inc()
+    ctr.inc(41.0)
+    assert ctr.value == pytest.approx(42.0)
+
+
+def test_gauge_tracks_peak_and_time_average(sim, monitor):
+    g = monitor.metrics.gauge("rt_backlog", node=0)
+
+    def proc():
+        g.add(2)
+        yield sim.timeout(1.0)
+        g.add(2)
+        yield sim.timeout(1.0)
+        g.sub(3)
+        yield sim.timeout(2.0)
+
+    sim.process(proc())
+    sim.run()
+    assert g.value == pytest.approx(1.0)
+    assert g.peak == pytest.approx(4.0)
+    # 2 for 1s, 4 for 1s, 1 for 2s over a 4s horizon.
+    assert g.time_average() == pytest.approx((2 + 4 + 2) / 4.0)
+
+
+def test_histogram_single_sample_percentiles_collapse(monitor):
+    h = monitor.metrics.histogram("lat", node=0)
+    h.observe(0.25)
+    assert h.count == 1
+    assert h.percentile(50) == h.percentile(95) == h.percentile(99) \
+        == pytest.approx(0.25)
+
+
+def test_snapshot_shape(monitor):
+    monitor.metrics.counter("a", node=0).inc(2)
+    monitor.metrics.gauge("b", node=1).set(5)
+    monitor.metrics.histogram("c").observe(1.0)
+    snap = monitor.metrics.snapshot()
+    assert {c["name"] for c in snap["counters"]} == {"a"}
+    assert snap["counters"][0]["labels"] == {"node": "0"}
+    assert snap["counters"][0]["value"] == 2.0
+    assert snap["gauges"][0]["peak"] == 5.0
+    assert snap["histograms"][0]["count"] == 1
+
+
+# -- Prometheus exporter round trip ----------------------------------------
+
+def test_prometheus_round_trip(monitor):
+    monitor.metrics.counter("net_bytes", node=3).inc(1024)
+    monitor.metrics.counter("net_bytes", node=4).inc(2048)
+    monitor.metrics.gauge("device_used", device="node0.dram",
+                          tier="dram").set(777)
+    text = monitor.metrics.to_prometheus()
+    parsed = parse_prometheus(text)
+    assert parsed[("net_bytes", (("node", "3"),))] == 1024.0
+    assert parsed[("net_bytes", (("node", "4"),))] == 2048.0
+    assert parsed[("device_used",
+                   (("device", "node0.dram"), ("tier", "dram")))] \
+        == 777.0
+
+
+def test_prometheus_escapes_label_values(monitor):
+    monitor.metrics.counter("weird", path='a"b\\c\nd').inc(7)
+    text = monitor.metrics.to_prometheus()
+    parsed = parse_prometheus(text)
+    assert parsed[("weird", (("path", 'a"b\\c\nd'),))] == 7.0
+
+
+def test_prometheus_sanitizes_metric_names(monitor):
+    monitor.metrics.counter("pcache.faults-total", node=0).inc()
+    text = monitor.metrics.to_prometheus()
+    assert "pcache_faults_total" in text
+    assert "pcache.faults-total" not in text
+
+
+def test_prometheus_histogram_quantiles(monitor):
+    h = monitor.metrics.histogram("wait", node=2)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.observe(v)
+    text = monitor.metrics.to_prometheus()
+    parsed = parse_prometheus(text)
+    assert parsed[("wait_count", (("node", "2"),))] == 4.0
+    assert parsed[("wait_sum", (("node", "2"),))] == 10.0
+    q50 = parsed[("wait", (("node", "2"), ("quantile", "0.50")))]
+    assert q50 == pytest.approx(2.0)
+
+
+# -- Monitor.summary() edge cases ------------------------------------------
+
+def test_summary_disabled_tracer_contributes_no_trace_keys(sim,
+                                                           monitor):
+    monitor.tracer = Tracer(sim, enabled=False)
+    monitor.count("pcache.faults")
+    summary = monitor.summary()
+    assert not any(k.startswith("trace.") for k in summary)
+    assert summary["pcache.faults"] == 1.0
+
+
+def test_summary_single_sample_trace_percentiles_collapse(sim,
+                                                          monitor):
+    tr = Tracer(sim, enabled=True)
+    monitor.tracer = tr
+    tr.record("op", "net", 0, 0.0, 0.5)
+    summary = monitor.summary()
+    assert summary["trace.net.count"] == 1
+    assert summary["trace.net.p50"] == summary["trace.net.p95"] \
+        == summary["trace.net.p99"] == pytest.approx(0.5)
+
+
+def test_summary_unaffected_by_labeled_metrics(sim, monitor):
+    # The labeled registry is a separate export surface: populating it
+    # must not change the flat summary dict's keys.
+    before = set(monitor.summary())
+    monitor.metrics.counter("net_bytes", node=0).inc()
+    monitor.metrics.gauge("rt_backlog", node=0).set(3)
+    assert set(monitor.summary()) == before

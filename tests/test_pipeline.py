@@ -221,3 +221,151 @@ def test_repo_pipelines_parse(tmp_path):
     for f in files:
         spec = load_yaml_subset(open(f, encoding="utf-8").read())
         assert spec["app"]["kind"] in APP_REGISTRY, f
+
+
+# -- crash-safe trace export (PR 4 regression) ------------------------------
+
+BOOM_PIPELINE = """
+name: Boom
+cluster:
+  n_nodes: 1
+  procs_per_node: 1
+  dram_mb: 16
+app:
+  kind: boom
+"""
+
+
+def _boom_app(cluster, spec, workdir):
+    """An app that dies while a traced process still holds an open
+    span — the shape of any real mid-run pipeline failure."""
+    sim = cluster.system.sim
+    tracer = cluster.tracer
+
+    def stuck():
+        with tracer.span("stuck", "pcache", node=0):
+            yield sim.timeout(100.0)
+
+    sim.process(stuck())
+    sim.run(until=1.0)
+    raise RuntimeError("boom")
+
+
+def test_failing_pipeline_still_exports_trace(tmp_path, monkeypatch):
+    import json
+    monkeypatch.setitem(APP_REGISTRY, "boom", _boom_app)
+    trace = tmp_path / "crash.json"
+    with pytest.raises(RuntimeError, match="boom"):
+        run_pipeline(BOOM_PIPELINE, workdir=str(tmp_path),
+                     trace_path=str(trace))
+    assert trace.exists(), "crash dropped the trace"
+    with open(trace, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    stuck = [e for e in doc["traceEvents"]
+             if e.get("ph") == "X" and e["name"] == "stuck"]
+    assert stuck, doc["traceEvents"]
+    # The open span was closed at sim.now and marked unfinished.
+    assert stuck[0]["args"].get("unfinished") is True
+    assert stuck[0]["dur"] == pytest.approx(1.0 * 1e6)
+
+
+def test_cli_trace_defaults_into_workdir(tmp_path, capsys,
+                                         monkeypatch):
+    """`repro trace` without --out must land in the workdir (never the
+    CWD) and print the resolved absolute path."""
+    import json
+    from repro.__main__ import main
+    cwd = tmp_path / "somewhere-else"
+    cwd.mkdir()
+    monkeypatch.chdir(cwd)
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    work = tmp_path / "work"
+    rc = main(["trace", str(path), "--workdir", str(work)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    expected = work / "trace.json"
+    assert expected.exists()
+    assert str(expected) in out          # resolved path was printed
+    assert not list(cwd.iterdir()), "trace leaked into the CWD"
+    with open(expected, encoding="utf-8") as fh:
+        assert json.load(fh)["traceEvents"]
+
+
+# -- report / diff subcommands ----------------------------------------------
+
+def test_cli_report_on_trace_file(tmp_path, capsys):
+    from repro.__main__ import main
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    rc = main(["trace", str(path), "--workdir", str(tmp_path)])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["report", str(tmp_path / "trace.json")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "critical path total" in out
+    assert "overlap ratio" in out
+
+
+def test_cli_report_runs_pipeline_live(tmp_path, capsys):
+    from repro.__main__ import main
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    rc = main(["report", str(path), "--workdir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "critical path by category" in out
+    # Live mode extras: the backlog-gauge leg of Little's law and the
+    # occupancy timelines.
+    assert "gauge L=" in out
+    assert "tier occupancy" in out
+
+
+def test_cli_report_json_and_out(tmp_path, capsys):
+    import json
+    import math
+    from repro.__main__ import main
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    rc = main(["trace", str(path), "--workdir", str(tmp_path)])
+    assert rc == 0
+    capsys.readouterr()
+    report_path = tmp_path / "rep.json"
+    rc = main(["report", str(tmp_path / "trace.json"), "--json",
+               "--out", str(report_path)])
+    assert rc == 0
+    printed = json.loads(capsys.readouterr().out)
+    saved = json.loads(report_path.read_text())
+    assert printed == saved
+    assert math.isfinite(saved["critical_path"]["total"])
+    assert abs(sum(saved["critical_path"]["by_category"].values())
+               - saved["makespan"]) <= 0.01 * saved["makespan"]
+
+
+def test_cli_diff_two_traces(tmp_path, capsys):
+    from repro.__main__ import main
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    for name, iters in (("a", 1), ("b", 2)):
+        spec = tmp_path / f"{name}.yaml"
+        spec.write_text(MINI_KMEANS.replace("max_iter: 2",
+                                            f"max_iter: {iters}"))
+        rc = main(["trace", str(spec), "--workdir", str(tmp_path),
+                   "--out", str(tmp_path / f"{name}.json")])
+        assert rc == 0
+    capsys.readouterr()
+    rc = main(["diff", str(tmp_path / "a.json"),
+               str(tmp_path / "b.json")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "critical-path delta by category" in out
+    assert "makespan" in out
+
+
+def test_cli_diff_rejects_non_json(tmp_path, capsys):
+    from repro.__main__ import main
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    rc = main(["diff", str(path), str(path)])
+    assert rc == 2
