@@ -4,6 +4,7 @@
     python -m repro trace pipelines/mm_kmeans_mega.yaml [--out T.json]
     python -m repro report <pipeline.yaml | trace.json> [--json]
     python -m repro diff A.trace.json B.trace.json [--json]
+    python -m repro chaos pipelines/chaos_kmeans_2n.yaml --seeds 25
 
 Mirrors the artifact's ``jarvis ppl run yaml /path/to/workflow.yaml``;
 the ``trace`` subcommand additionally records latency spans and writes
@@ -12,8 +13,11 @@ Perfetto). ``report`` analyzes where the time went — critical-path
 breakdown, overlap ratio, top spans, queueing stats — either live (run
 a pipeline with tracing on) or post-hoc (from a trace JSON file).
 ``diff`` aligns two trace files by span category and reports which
-categories account for the runtime delta. The bare form
-``python -m repro <file.yaml>`` is kept as an alias for ``run``.
+categories account for the runtime delta. ``chaos`` runs seeded
+fault-injection campaigns with the coherence model-checker attached,
+shrinks the first failing seed's fault schedule to a minimal repro,
+and writes a replay file. The bare form ``python -m repro <file.yaml>``
+is kept as an alias for ``run``.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ import tempfile
 
 from repro.pipeline import run_pipeline
 
-_SUBCOMMANDS = ("run", "trace", "report", "diff")
+_SUBCOMMANDS = ("run", "trace", "report", "diff", "chaos")
 
 
 def _print_rows(rows) -> None:
@@ -123,6 +127,59 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.chaos import ChaosPlan
+    from repro.chaos.campaign import (run_campaign, run_case,
+                                      shrink_case, write_replay)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-chaos-")
+    kinds = tuple(k.strip() for k in args.faults.split(",") if k.strip())
+
+    def log(msg):
+        print(msg, flush=True)
+
+    if args.replay:
+        plan = ChaosPlan.from_json(args.replay)
+        res = run_case(args.pipeline, plan.seed, horizon=plan.horizon,
+                       plan=plan, workdir=workdir)
+        log(res.summary())
+        for v in res.violations[:10]:
+            log(f"  violation: {v}")
+        for c in res.conservation[:10]:
+            log(f"  conservation: {c}")
+        return 0 if res.ok else 1
+
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    results = run_campaign(args.pipeline, seeds, kinds=kinds,
+                           intensity=args.intensity,
+                           perturb=args.perturb,
+                           horizon=args.horizon, workdir=workdir,
+                           log=log)
+    bad = [r for r in results if not r.ok]
+    log(f"campaign: {len(results) - len(bad)}/{len(results)} seeds "
+        f"clean")
+    if not bad:
+        return 0
+    first = bad[0]
+    for v in first.violations[:10]:
+        log(f"  violation: {v}")
+    for c in first.conservation[:10]:
+        log(f"  conservation: {c}")
+    minimal = None
+    if first.plan is not None and len(first.plan.faults) > 1:
+        log(f"shrinking seed {first.seed} "
+            f"({len(first.plan.faults)} faults)...")
+        minimal, keep = shrink_case(args.pipeline, first,
+                                    workdir=workdir, log=log)
+        log(f"minimal repro: faults {keep} of seed {first.seed}")
+        for f in minimal.faults:
+            log(f"  {f}")
+    out = args.out or os.path.join(workdir,
+                                   f"chaos-replay-{first.seed}.json")
+    write_replay(out, first, minimal)
+    log(f"replay file written to {os.path.abspath(out)}")
+    return 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `python -m repro file.yaml` means `run file.yaml`.
@@ -177,6 +234,35 @@ def main(argv=None) -> int:
     p_diff.add_argument("--json", action="store_true",
                         help="print the diff as JSON")
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign with the coherence "
+             "model-checker; shrinks and persists failing schedules")
+    p_chaos.add_argument("pipeline", help="path to a workflow YAML file")
+    p_chaos.add_argument("--seeds", type=int, default=25,
+                         help="number of seeded cases to run")
+    p_chaos.add_argument("--seed-base", type=int, default=0,
+                         help="first seed (cases use seed-base..+seeds)")
+    p_chaos.add_argument("--faults", default=",".join(
+        ("crash", "partition", "delay", "drop", "stall", "corrupt")),
+        help="comma-separated fault kinds to inject")
+    p_chaos.add_argument("--intensity", type=float, default=1.0,
+                         help="expected-fault-count multiplier")
+    p_chaos.add_argument("--horizon", type=float, default=None,
+                         help="fault window in simulated seconds "
+                              "(default: measured by a fault-free "
+                              "probe run)")
+    p_chaos.add_argument("--perturb", action="store_true",
+                         help="also randomize same-timestamp event "
+                              "ordering (seeded)")
+    p_chaos.add_argument("--workdir", default=None,
+                         help="directory for datasets + replay files")
+    p_chaos.add_argument("--out", default=None,
+                         help="replay-file path for a failing seed")
+    p_chaos.add_argument("--replay", default=None,
+                         help="replay-file path to re-run instead of "
+                              "a seeded campaign")
+
     args = parser.parse_args(argv)
     if args.command == "diff":
         for path in (args.a, args.b):
@@ -190,6 +276,8 @@ def main(argv=None) -> int:
         return 2
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
 
     workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-ppl-")
     trace_path = None

@@ -1,0 +1,34 @@
+"""Deterministic chaos engine + coherence model-checker.
+
+The paper concedes (§V) that MegaMmap "assumes that the nodes are
+reliable"; `repro.core.reliability` implements the replication/ECC
+extension it sketches, and this package adversarially exercises it:
+
+* :mod:`repro.chaos.plan` — :class:`ChaosPlan`, a seed-replayable
+  schedule of node crashes/restarts, network partitions/delay
+  jitter/drop-with-retry, device stalls, page corruption, and
+  event-schedule perturbation.
+* :mod:`repro.chaos.inject` — :class:`ChaosInjector`, the simulation
+  process that applies a plan through the ``chaos`` hooks in
+  `net.fabric`, `storage.device`, `core.reliability`, and
+  `sim.engine`, checking conservation invariants after every fault.
+* :mod:`repro.chaos.checker` — :class:`HistoryRecorder` +
+  :class:`CoherenceChecker`, the client-boundary history log and the
+  per-:class:`~repro.core.coherence.CoherencePolicy` consistency
+  model-checker.
+* :mod:`repro.chaos.campaign` — seeded campaign driver behind
+  ``python -m repro chaos``, with ddmin fault-set shrinking and
+  replay files.
+"""
+
+from repro.chaos.plan import ChaosPlan, Fault
+from repro.chaos.checker import CoherenceChecker, HistoryRecorder
+from repro.chaos.inject import ChaosInjector
+from repro.chaos.campaign import CaseResult, run_campaign, run_case, \
+    shrink_faults
+
+__all__ = [
+    "ChaosPlan", "Fault", "CoherenceChecker", "HistoryRecorder",
+    "ChaosInjector", "CaseResult", "run_campaign", "run_case",
+    "shrink_faults",
+]

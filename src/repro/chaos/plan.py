@@ -1,0 +1,181 @@
+"""Seed-replayable fault schedules.
+
+A :class:`ChaosPlan` is a pure function of ``(seed, n_nodes, horizon,
+kinds, intensity)``: building it twice yields the identical fault list,
+and a plan serialized to JSON (the replay file) rebuilds exactly. The
+ddmin shrinker works on :meth:`ChaosPlan.subset` projections of one
+plan, so a minimal repro is always a sub-multiset of the original
+schedule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.rand import py_rng
+
+#: Every fault kind the injector understands, in the order plan
+#: generation draws them.
+FAULT_KINDS = ("crash", "partition", "delay", "drop", "stall",
+               "corrupt")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    ``kind`` selects the interpretation of the other fields:
+
+    * ``crash`` — fail ``node`` at ``time``; restored (restart) at
+      ``time + duration``.
+    * ``partition`` — for ``[time, time + duration)`` transfers
+      crossing the cut between ``nodes`` and the rest stall until the
+      window heals.
+    * ``delay`` — for the window, cross-node transfers pay up to
+      ``param`` seconds of seeded jitter each.
+    * ``drop`` — for the window, each cross-node transfer is lost with
+      probability ``param`` per attempt and retransmitted (bounded
+      attempts), paying the extra wire time.
+    * ``stall`` — for the window, non-DRAM device transfers take
+      ``1 + param`` times their nominal service time.
+    * ``corrupt`` — at ``time``, flip a bit in one eligible stored
+      page blob (selected deterministically via ``pick``).
+    """
+
+    kind: str
+    time: float
+    duration: float = 0.0
+    node: int = -1
+    nodes: Tuple[int, ...] = ()
+    param: float = 0.0
+    pick: int = 0
+
+    @property
+    def end(self) -> float:
+        return self.time + self.duration
+
+
+@dataclass
+class ChaosPlan:
+    """A deterministic, replayable schedule of faults."""
+
+    seed: int
+    n_nodes: int
+    horizon: float
+    faults: List[Fault] = field(default_factory=list)
+    #: Arm randomized same-timestamp tie-breaking in the simulator.
+    perturb: bool = False
+
+    # -- generation ------------------------------------------------------
+    @classmethod
+    def build(cls, seed: int, n_nodes: int, horizon: float,
+              kinds: Sequence[str] = FAULT_KINDS,
+              intensity: float = 1.0,
+              perturb: bool = False) -> "ChaosPlan":
+        """Draw a schedule from the seeded stream.
+
+        ``intensity`` scales the expected fault count; ``kinds``
+        restricts which fault families are drawn. Identical arguments
+        produce the identical plan, always.
+        """
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        rng = py_rng(seed, "chaos-plan")
+        faults: List[Fault] = []
+        # Faults start after a warmup fraction so the workload exists
+        # (vectors created, first writes committed) and end early
+        # enough that recovery/heal windows fit inside the horizon.
+        lo, hi = 0.15 * horizon, 0.85 * horizon
+
+        def times(expected: float) -> List[float]:
+            n = max(0, round(expected * intensity
+                             + rng.random() * intensity))
+            return sorted(rng.uniform(lo, hi) for _ in range(n))
+
+        if "crash" in kinds and n_nodes > 1:
+            for t in times(1.5):
+                faults.append(Fault(
+                    kind="crash", time=t,
+                    duration=rng.uniform(0.05, 0.25) * horizon,
+                    node=rng.randrange(n_nodes)))
+        if "partition" in kinds and n_nodes > 1:
+            for t in times(1.0):
+                k = rng.randrange(1, n_nodes)
+                group = tuple(sorted(rng.sample(range(n_nodes), k)))
+                faults.append(Fault(
+                    kind="partition", time=t,
+                    duration=rng.uniform(0.01, 0.08) * horizon,
+                    nodes=group))
+        if "delay" in kinds:
+            for t in times(1.0):
+                faults.append(Fault(
+                    kind="delay", time=t,
+                    duration=rng.uniform(0.05, 0.2) * horizon,
+                    param=rng.uniform(1e-5, 5e-4)))
+        if "drop" in kinds:
+            for t in times(1.0):
+                faults.append(Fault(
+                    kind="drop", time=t,
+                    duration=rng.uniform(0.05, 0.2) * horizon,
+                    param=rng.uniform(0.05, 0.4)))
+        if "stall" in kinds:
+            for t in times(1.0):
+                faults.append(Fault(
+                    kind="stall", time=t,
+                    duration=rng.uniform(0.05, 0.25) * horizon,
+                    param=rng.uniform(0.5, 4.0)))
+        if "corrupt" in kinds:
+            for t in times(1.5):
+                faults.append(Fault(
+                    kind="corrupt", time=t,
+                    pick=rng.randrange(1 << 30),
+                    param=rng.randrange(1 << 16)))
+        faults.sort(key=lambda f: (f.time, f.kind))
+        return cls(seed=seed, n_nodes=n_nodes, horizon=horizon,
+                   faults=faults, perturb=perturb)
+
+    # -- shrinking -------------------------------------------------------
+    def subset(self, indices: Sequence[int]) -> "ChaosPlan":
+        """Projection keeping only the faults at ``indices`` (for the
+        ddmin shrinker). The seed is kept: injector-side draws stay on
+        the same stream, so a subset run is itself replayable."""
+        keep = sorted(set(indices))
+        return replace(self, faults=[self.faults[i] for i in keep])
+
+    # -- (de)serialization ----------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_nodes": self.n_nodes,
+            "horizon": self.horizon,
+            "perturb": self.perturb,
+            "faults": [asdict(f) for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ChaosPlan":
+        faults = [Fault(**{**f, "nodes": tuple(f.get("nodes", ()))})
+                  for f in doc.get("faults", [])]
+        return cls(seed=int(doc["seed"]), n_nodes=int(doc["n_nodes"]),
+                   horizon=float(doc["horizon"]), faults=faults,
+                   perturb=bool(doc.get("perturb", False)))
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, text_or_path: str) -> "ChaosPlan":
+        text = text_or_path
+        if "{" not in text_or_path:
+            with open(text_or_path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        return cls.from_dict(json.loads(text))

@@ -107,6 +107,10 @@ class MegaMmapClient:
         nbytes = TASK_ENVELOPE + task.nbytes \
             if task.kind is TaskKind.WRITE else TASK_ENVELOPE
         self.system.monitor.count("rpc.submits")
+        h = self.system.history
+        if h is not None:
+            h.on_task(self, task.kind.value, task.vector_name,
+                      task.page_idx, target)
         with self.system.tracer.span(
                 f"submit:{task.kind.value}", "rpc", node=self.node,
                 target=target, vector=task.vector_name,
@@ -166,6 +170,11 @@ class MegaMmapClient:
                 batches.append((owner, batch, chunk))
         self.system.monitor.count("rpc.batches", len(batches))
         self.system.monitor.count("rpc.batched_tasks", len(tasks))
+        h = self.system.history
+        if h is not None:
+            for owner, batch, _chunk in batches:
+                h.on_task(self, f"batch:{batch.kind.value}",
+                          batch.vector_name, len(batch), owner)
         for owner, batch, _chunk in batches:
             payloads = [t.nbytes if t.kind is TaskKind.WRITE else 0
                         for t in batch.tasks]

@@ -106,6 +106,9 @@ class ReliabilityManager:
         ``factor`` distinct-node copies (the standard repair process
         of replicated stores). Generator service."""
         period = 4 * self.system.config.organizer_period
+        monitor = self.system.monitor
+        m_repairs = monitor.metrics.counter("reliability_repairs",
+                                            reason="under_replicated")
         while True:
             yield self.system.sim.timeout(period)
             if not self.enabled:
@@ -116,7 +119,13 @@ class ReliabilityManager:
                     continue
                 distinct = {info.node} | {n for n, _ in info.replicas}
                 if len(distinct) < self.factor:
-                    yield from self.replicate_page(vec, info.key)
+                    with self.system.tracer.span(
+                            "repair", "chaos", node=info.node,
+                            vector=info.bucket, page=info.key,
+                            reason="under_replicated"):
+                        yield from self.replicate_page(vec, info.key)
+                    monitor.count("reliability.repairs")
+                    m_repairs.inc()
 
     # -- failure injection ----------------------------------------------------------
     def fail_node(self, node: int) -> int:
@@ -145,6 +154,16 @@ class ReliabilityManager:
                     info.node = -1  # data gone (unless on the backend)
         return lost
 
+    def restore_node(self, node: int) -> None:
+        """Bring a crashed node back (empty — its blobs stayed lost).
+
+        New placements may target it again; the repair loop and lazy
+        re-replication repopulate it over time. The chaos engine's
+        crash/restart fault pairs use this.
+        """
+        self.failed_nodes.discard(node)
+        self.system.monitor.count("reliability.restarts")
+
     # -- recovery ---------------------------------------------------------------------
     def recover_page(self, vec, page_idx: int, client_node: int):
         """Re-materialize a page whose primary was lost or corrupted.
@@ -153,56 +172,71 @@ class ReliabilityManager:
         Generator; returns the page bytes.
         """
         hermes = self.system.hermes
-        info = hermes.mdm.peek(vec.name, page_idx)
-        if info is not None:
-            # Try every surviving copy (primary first, then replicas)
-            # until one passes the integrity check.
-            for node, tier in info.placements:
-                if node < 0 or node in self.failed_nodes:
-                    continue
-                dev = self.system.dmshs[node].tier(tier)
-                if (vec.name, page_idx) not in dev:
-                    continue
-                raw = yield from dev.get((vec.name, page_idx))
-                yield from self.system.network.transfer(
-                    node, client_node, len(raw))
-                if self.verify(vec.name, page_idx, raw):
-                    if (node, tier) != (info.node, info.tier):
-                        # Repair: the surviving replica becomes
-                        # primary; the bad copy is dropped.
-                        old_node, old_tier = info.node, info.tier
-                        if 0 <= old_node < len(self.system.dmshs) \
-                                and old_node not in self.failed_nodes:
-                            old_dev = self.system.dmshs[old_node] \
-                                .tier(old_tier)
-                            if (vec.name, page_idx) in old_dev:
-                                old_dev.delete((vec.name, page_idx))
-                        if (node, tier) in info.replicas:
-                            info.replicas.remove((node, tier))
-                        info.node, info.tier = node, tier
-                        self.system.monitor.count(
-                            "reliability.promotions")
-                    return raw
-        # Drop the bad entry and re-stage from the backend if possible.
-        if info is not None:
-            try:
-                yield from hermes.delete(client_node, vec.name, page_idx)
-            except BlobNotFound:
-                pass
-        if vec.volatile or page_idx in vec.dirty_pages:
-            raise NodeFailedError(
-                f"page {page_idx} of {vec.name!r} lost: no replica and "
-                f"no persisted copy")
-        raw = yield from self.system.stager.stage_in(vec, page_idx,
-                                                     client_node)
-        target = vec.owner_node(page_idx, client_node)
-        if target in self.failed_nodes:
-            target = client_node
-        yield from hermes.put(client_node, vec.name, page_idx, raw,
-                              target_node=target)
-        self.record(vec.name, page_idx, raw)
-        self.system.monitor.count("reliability.restages")
-        return raw
+        monitor = self.system.monitor
+        with self.system.tracer.span("recover", "chaos",
+                                     node=client_node, vector=vec.name,
+                                     page=page_idx) as sp:
+            info = hermes.mdm.peek(vec.name, page_idx)
+            if info is not None:
+                # Try every surviving copy (primary first, then
+                # replicas) until one passes the integrity check.
+                for node, tier in info.placements:
+                    if node < 0 or node in self.failed_nodes:
+                        continue
+                    dev = self.system.dmshs[node].tier(tier)
+                    if (vec.name, page_idx) not in dev:
+                        continue
+                    raw = yield from dev.get((vec.name, page_idx))
+                    yield from self.system.network.transfer(
+                        node, client_node, len(raw))
+                    if self.verify(vec.name, page_idx, raw):
+                        if (node, tier) != (info.node, info.tier):
+                            # Repair: the surviving replica becomes
+                            # primary; the bad copy is dropped.
+                            old_node, old_tier = info.node, info.tier
+                            if 0 <= old_node < len(self.system.dmshs) \
+                                    and old_node not in \
+                                    self.failed_nodes:
+                                old_dev = self.system.dmshs[old_node] \
+                                    .tier(old_tier)
+                                if (vec.name, page_idx) in old_dev:
+                                    old_dev.delete((vec.name,
+                                                    page_idx))
+                            if (node, tier) in info.replicas:
+                                info.replicas.remove((node, tier))
+                            info.node, info.tier = node, tier
+                            monitor.count("reliability.promotions")
+                        sp["reason"] = "replica_failover"
+                        monitor.metrics.counter(
+                            "reliability_repairs",
+                            reason="replica_failover").inc()
+                        return raw
+            # Drop the bad entry and re-stage from the backend if
+            # possible.
+            if info is not None:
+                try:
+                    yield from hermes.delete(client_node, vec.name,
+                                             page_idx)
+                except BlobNotFound:
+                    pass
+            if vec.volatile or page_idx in vec.dirty_pages:
+                sp["reason"] = "lost"
+                raise NodeFailedError(
+                    f"page {page_idx} of {vec.name!r} lost: no replica "
+                    f"and no persisted copy")
+            raw = yield from self.system.stager.stage_in(vec, page_idx,
+                                                         client_node)
+            target = vec.owner_node(page_idx, client_node)
+            if target in self.failed_nodes:
+                target = client_node
+            yield from hermes.put(client_node, vec.name, page_idx, raw,
+                                  target_node=target)
+            self.record(vec.name, page_idx, raw)
+            monitor.count("reliability.restages")
+            sp["reason"] = "backend_restage"
+            monitor.metrics.counter("reliability_repairs",
+                                    reason="backend_restage").inc()
+            return raw
 
 
 def corrupt_page(system, vec_name: str, page_idx: int,

@@ -108,6 +108,13 @@ class NodeRuntime:
     def backlog(self) -> int:
         return len(self.queue) + sum(len(s) for s in self._stores)
 
+    def _count_failure(self, kind: str, exc: BaseException) -> None:
+        """Labeled failure counter so chaos triage can attribute task
+        aborts to a node/kind/error without parsing tracebacks."""
+        self.system.monitor.metrics.counter(
+            "rt_task_failures", node=self.node_id, kind=kind,
+            error=type(exc).__name__).inc()
+
     @property
     def idle(self) -> bool:
         return self.inflight == 0
@@ -180,6 +187,7 @@ class NodeRuntime:
             except (GeneratorExit, KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as exc:
+                self._count_failure(task.kind.value, exc)
                 if task.done is not None:
                     task.done.fail(exc)
                 else:
@@ -219,6 +227,7 @@ class NodeRuntime:
         except (GeneratorExit, KeyboardInterrupt, SystemExit):
             raise
         except BaseException as exc:
+            self._count_failure(f"batch:{batch.kind.value}", exc)
             if batch.done is not None:
                 batch.done.fail(exc)
             else:

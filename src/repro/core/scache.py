@@ -103,8 +103,8 @@ class ScacheExecutor:
         if info is not None:
             if info.nbytes < want:
                 # The vector grew (append): extend the blob in place.
-                raw = yield from hermes.get(self.node_id, vec.name,
-                                            page_idx)
+                raw = yield from self._get_page(vec, page_idx,
+                                                self.node_id)
                 raw = raw + bytes(want - len(raw))
                 info = yield from hermes.put(
                     self.node_id, vec.name, page_idx, raw,
@@ -132,6 +132,11 @@ class ScacheExecutor:
                     put_info = yield from hermes.put(
                         self.node_id, vec.name, p, raw, score=score,
                         target_node=owner)
+                    if self.system.config.integrity_checks:
+                        # Without a baseline CRC at materialization,
+                        # corruption of a staged-in page that is never
+                        # rewritten would pass verification.
+                        self.system.reliability.record(vec.name, p, raw)
                     if p == page_idx:
                         info = put_info
         finally:
@@ -160,8 +165,8 @@ class ScacheExecutor:
             want = vec.page_nbytes(p)
             if info is not None:
                 if info.nbytes < want:
-                    raw = yield from hermes.get(self.node_id, vec.name,
-                                                p)
+                    raw = yield from self._get_page(vec, p,
+                                                    self.node_id)
                     raw = raw + bytes(want - len(raw))
                     info = yield from hermes.put(
                         self.node_id, vec.name, p, raw,
@@ -215,6 +220,10 @@ class ScacheExecutor:
                             (p, raw, vec.owner_node(p, client_node)))
                     put_infos = yield from hermes.put_many(
                         self.node_id, vec.name, to_put, score=score)
+                    if self.system.config.integrity_checks:
+                        for p, raw, _owner in to_put:
+                            self.system.reliability.record(vec.name, p,
+                                                           raw)
                     for p in want_pages:
                         if p in put_infos:
                             infos[p] = put_infos[p]
@@ -228,6 +237,23 @@ class ScacheExecutor:
         return infos
 
     # -- reads ----------------------------------------------------------------
+    def _get_page(self, vec: SharedVector, page_idx: int,
+                  client_node: int):
+        """Whole-page fetch with crash failover.
+
+        A primary can vanish between placement lookup and the device
+        read (a node crash mid-request); hermes reports that as
+        :class:`BlobNotFound`, and the recovery path (replica, then
+        persistent backend) serves the read instead.
+        """
+        try:
+            return (yield from self.system.hermes.get(
+                client_node, vec.name, page_idx))
+        except BlobNotFound:
+            self.system.monitor.count("reliability.read_failovers")
+            return (yield from self.system.reliability.recover_page(
+                vec, page_idx, client_node))
+
     def _read(self, vec: SharedVector, task: MemoryTask):
         hermes = self.system.hermes
         rel = self.system.reliability
@@ -252,8 +278,13 @@ class ScacheExecutor:
         replicate = (vec.policy is CoherencePolicy.READ_ONLY_GLOBAL
                      and task.client_node != self.node_id and whole)
         if replicate:
-            raw = yield from hermes.replicate(task.client_node, vec.name,
-                                              task.page_idx)
+            try:
+                raw = yield from hermes.replicate(
+                    task.client_node, vec.name, task.page_idx)
+            except BlobNotFound:
+                self.system.monitor.count("reliability.read_failovers")
+                raw = yield from rel.recover_page(vec, task.page_idx,
+                                                  task.client_node)
             if self.system.config.integrity_checks \
                     and not rel.verify(vec.name, task.page_idx, raw):
                 self.system.monitor.count("reliability.corruptions")
@@ -273,8 +304,8 @@ class ScacheExecutor:
         self.system.monitor.count("scache.reads")
         self._m_reads.inc()
         if whole:
-            raw = yield from hermes.get(task.client_node, vec.name,
-                                        task.page_idx)
+            raw = yield from self._get_page(vec, task.page_idx,
+                                            task.client_node)
             if self.system.config.integrity_checks \
                     and not rel.verify(vec.name, task.page_idx, raw):
                 # Bit flip detected (§V): recover a good copy.
@@ -285,8 +316,27 @@ class ScacheExecutor:
                 return raw
             return raw[:task.region[1]]
         off, size = task.region
-        return (yield from hermes.get_partial(
-            task.client_node, vec.name, task.page_idx, off, size))
+        if self.system.config.integrity_checks:
+            # The partial fast path used to bypass the CRC check,
+            # silently returning corrupted bytes for pages only ever
+            # read in fragments (e.g. partition-boundary pages of a
+            # PGAS scan). Verification needs the whole page, so fetch
+            # it, verify, and slice.
+            raw = yield from self._get_page(vec, task.page_idx,
+                                            task.client_node)
+            if not rel.verify(vec.name, task.page_idx, raw):
+                self.system.monitor.count("reliability.corruptions")
+                raw = yield from rel.recover_page(vec, task.page_idx,
+                                                  task.client_node)
+            return raw[off:off + size]
+        try:
+            return (yield from hermes.get_partial(
+                task.client_node, vec.name, task.page_idx, off, size))
+        except BlobNotFound:
+            self.system.monitor.count("reliability.read_failovers")
+            raw = yield from rel.recover_page(vec, task.page_idx,
+                                              task.client_node)
+            return raw[off:off + size]
 
     def _read_batch(self, vec: SharedVector, batch: BatchTask):
         """Serve a READ batch: healthy whole-page reads share one
@@ -316,8 +366,16 @@ class ScacheExecutor:
         pages = list(dict.fromkeys(
             batch.tasks[i].page_idx for i in bulk))
         yield from self.ensure_pages(vec, pages, batch.client_node)
-        raws = yield from hermes.get_many(batch.client_node, vec.name,
-                                          pages)
+        try:
+            raws = yield from hermes.get_many(batch.client_node,
+                                              vec.name, pages)
+        except BlobNotFound:
+            # A node crashed under the vectored fetch. Fall back to
+            # the per-task path, which recovers page by page.
+            self.system.monitor.count("reliability.read_failovers")
+            for i in bulk:
+                results[i] = yield from self._read(vec, batch.tasks[i])
+            return results
         for i in bulk:
             task = batch.tasks[i]
             raw = raws[task.page_idx]

@@ -51,6 +51,12 @@ class MegaMmapSystem:
         self.hermes.tracer = self.tracer
         self.hermes.evictor = self._evict_clean_pages
         self.vectors: Dict[str, SharedVector] = {}
+        #: Chaos history recorder (``repro.chaos.checker``). When set,
+        #: every client-boundary read/write/append/flush and every RPC
+        #: submission is logged for coherence model-checking. ``None``
+        #: (the default) keeps all hooks on the one-attribute-test fast
+        #: path.
+        self.history = None
         #: In-flight collective page fetches: (vector, page) -> entry.
         self._collective: Dict = {}
         self.organizer = DataOrganizer(self)

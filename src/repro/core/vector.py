@@ -212,6 +212,12 @@ class Vector:
         flushed first, then dropped. Generator."""
         for page_idx in list(self.frames):
             yield from self.evict_page(page_idx)
+        h = self.client.system.history
+        if h is not None:
+            # Freshness horizon: from now on this client's reads of
+            # the vector refault from the scache, so they must observe
+            # versions committed no earlier than this instant.
+            h.on_invalidate(self)
 
     def _change_phase(self, new_policy: CoherencePolicy):
         """Switch coherence policy; leaving READ_ONLY invalidates every
@@ -237,6 +243,8 @@ class Vector:
         element ``set`` for byte-precise dirty tracking instead.
         """
         tx = self._require_tx()
+        h = self.client.system.history
+        t0 = self.client.system.sim.now if h is not None else 0.0
         if tx.remaining == 0:
             # Final acknowledgment: evict/score the tail of the stream.
             if tx.tail > tx.head:
@@ -266,6 +274,12 @@ class Vector:
             .view(self.dtype)
         start = region.page_idx * self.elems_per_page \
             + region.off // self.itemsize
+        if h is not None and not tx.writes:
+            # Read-only chunks are checked like read_range results.
+            # Writing chunks are captured at the commit boundary
+            # instead (flush/evict fragments), where the final bytes
+            # are known.
+            h.on_read(self, start, view, t0)
         return Chunk(start=start, data=view)
 
     def chunks(self):
@@ -316,6 +330,8 @@ class Vector:
         ``batching_enabled=False`` keep the per-page path.
         """
         self._check_range(elem_off, count)
+        h = self.client.system.history
+        t0 = self.client.system.sim.now if h is not None else 0.0
         out = np.empty(count, dtype=self.dtype)
         spans = list(self._page_spans(elem_off, count))
         cfg = self.client.system.config
@@ -329,6 +345,8 @@ class Vector:
                                                (byte_off, nbytes))
                 out[doff:doff + n] = frame.data[
                     byte_off:byte_off + nbytes].view(self.dtype)
+            if h is not None:
+                h.on_read(self, elem_off, out, t0)
             return out
         # Wave size: the batch cap, and never more pages than fit the
         # pcache budget at once (frames of the current wave are exempt
@@ -347,6 +365,8 @@ class Vector:
                 nbytes = n * self.itemsize
                 out[doff:doff + n] = frames[page_idx].data[
                     byte_off:byte_off + nbytes].view(self.dtype)
+        if h is not None:
+            h.on_read(self, elem_off, out, t0)
         return out
 
     def write_range(self, elem_off: int, array: np.ndarray):
@@ -367,6 +387,9 @@ class Vector:
                 array[soff:soff + n].view(np.uint8)
             frame.dirty.add(byte_off, byte_off + nbytes)
             frame.valid.add(byte_off, byte_off + nbytes)
+        h = self.client.system.history
+        if h is not None:
+            h.on_write(self, elem_off, array)
 
     def append(self, array: np.ndarray):
         """Append elements; returns their start index (generator).
@@ -378,6 +401,9 @@ class Vector:
         # Reserve before yielding: the fetch-add is atomic.
         start = self.shared.length
         self.shared.grow(start + len(array))
+        h = self.client.system.history
+        if h is not None:
+            h.on_append(self, start, len(array))
         coord = self.shared.coordinator_node
         net = self.client.system.network
         yield from net.transfer(self.client.node, coord, 64)
@@ -634,6 +660,9 @@ class Vector:
                     (start, frame.data[start:end])
                     for start, end in frame.dirty
                 ]
+                h = self.client.system.history
+                if h is not None:
+                    h.on_commit(self, page_idx, fragments)
                 nbytes = sum(len(d) for _, d in fragments)
                 # Cost of the copy out of the pcache.
                 yield self.client.system.sim.timeout(
@@ -761,6 +790,7 @@ class Vector:
         worker queueing).
         """
         tasks = []
+        h = self.client.system.history
         for page_idx in sorted(self.frames):
             frame = self.frames[page_idx]
             if not frame.dirty:
@@ -772,6 +802,8 @@ class Vector:
                 (start, frame.data[start:end].tobytes())
                 for start, end in frame.dirty
             ]
+            if h is not None:
+                h.on_commit(self, page_idx, fragments)
             nbytes = sum(len(d) for _, d in fragments)
             self.client.system.monitor.count("bytes.copied", nbytes)
             yield self.client.system.sim.timeout(
@@ -787,6 +819,11 @@ class Vector:
             yield from self.client.submit_batch(tasks, wait=False)
         if wait:
             yield from self.client.drain()
+        if h is not None:
+            # Commit point: everything this client has shipped so far
+            # (including earlier async evictions) is ordered ahead of
+            # any later read at the page workers.
+            h.on_flush(self)
 
     def persist(self):
         """Flush pcache + stage every dirty scache page to the backend

@@ -310,7 +310,7 @@ class Hermes:
 
     def _get(self, client_node, bucket, key):
         info = yield from self.mdm.get(client_node, bucket, key)
-        node, tier = self._nearest_copy(info, client_node)
+        node, tier = self._live_copy(info, client_node)
         dev = self._device(node, tier)
         raw = yield from dev.get((bucket, key))
         yield from self.network.transfer(node, client_node, len(raw))
@@ -342,7 +342,7 @@ class Hermes:
             yield lock.acquire()
             try:
                 info = yield from self.mdm.get(client_node, bucket, key)
-                node, tier = self._nearest_copy(info, client_node)
+                node, tier = self._live_copy(info, client_node)
                 dev = self._device(node, tier)
                 raw = yield from dev.get((bucket, key))
             finally:
@@ -371,7 +371,7 @@ class Hermes:
 
     def _get_partial(self, client_node, bucket, key, offset, nbytes):
         info = yield from self.mdm.get(client_node, bucket, key)
-        node, tier = self._nearest_copy(info, client_node)
+        node, tier = self._live_copy(info, client_node)
         dev = self._device(node, tier)
         raw = yield from dev.get_range((bucket, key), offset, nbytes)
         yield from self.network.transfer(node, client_node, len(raw))
@@ -382,6 +382,31 @@ class Hermes:
             if node == client_node:
                 return node, tier
         return info.node, info.tier
+
+    def _live_copy(self, info: BlobInfo, client_node: int):
+        """A placement whose device holds the blob *right now*.
+
+        Metadata resolution and the device access are separated by
+        simulated time (locks, RPCs, device queues); a node crash in
+        that window deletes the blob from its devices. Re-checking
+        presence here turns that race into a :class:`BlobNotFound`
+        the read paths can recover from, instead of a bare KeyError.
+        Prefers a client-local copy, then the primary, then replicas.
+        """
+        key = (info.bucket, info.key)
+        best = None
+        for node, tier in info.placements:
+            if node < 0:
+                continue
+            if key not in self._device(node, tier):
+                continue
+            if node == client_node:
+                return node, tier
+            if best is None:
+                best = (node, tier)
+        if best is None:
+            raise BlobNotFound(key)
+        return best
 
     # -- replication (read-only global coherence) ---------------------------------
     def replicate(self, client_node: int, bucket: str, key):
@@ -402,9 +427,10 @@ class Hermes:
         info = yield from self.mdm.get(client_node, bucket, key)
         raw = None
         if all(node != client_node for node, _ in info.placements):
-            src_dev = self._device(info.node, info.tier)
+            src_node, src_tier = self._live_copy(info, client_node)
+            src_dev = self._device(src_node, src_tier)
             raw = yield from src_dev.get((bucket, key))
-            yield from self.network.transfer(info.node, client_node,
+            yield from self.network.transfer(src_node, client_node,
                                              len(raw))
             local = self.dmshs[client_node].fastest_with_room(len(raw))
             if local is not None:

@@ -57,6 +57,12 @@ class Network:
         self.bytes_moved = 0
         #: Span tracer; the embedding system installs its own.
         self.tracer = NOOP_TRACER
+        #: Fault-injection hook (``repro.chaos``). When set, every
+        #: transfer yields through ``chaos.on_transfer`` before paying
+        #: the link cost, which may add partition stalls, delay jitter,
+        #: or drop-with-retry re-sends. ``None`` (the default) leaves
+        #: the data path untouched.
+        self.chaos = None
         # Per-source-node labeled handles, filled lazily on first
         # transfer from each node (one dict hit per transfer after).
         self._m_per_src: dict = {}
@@ -91,6 +97,9 @@ class Network:
             raise ValueError(f"negative transfer size {nbytes}")
         if link is None or src == dst:
             link = self.link_for(src, dst)
+        if self.chaos is not None:
+            yield from self.chaos.on_transfer(self, src, dst, nbytes,
+                                              link)
         with self.tracer.span("memcpy" if src == dst else "transfer",
                               "net", node=src, src=src, dst=dst,
                               nbytes=nbytes):

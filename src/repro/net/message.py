@@ -22,6 +22,23 @@ ENVELOPE = 128
 #: Per-item header inside a vectored (batched) envelope: page index,
 #: region bounds, fragment table — far smaller than a full envelope.
 ITEM_HEADER = 32
+#: Extra wire bytes per retransmission attempt: the NACK/timeout probe
+#: and the repeated envelope (the payload itself is re-sent in full and
+#: accounted separately by the fabric's drop model).
+RETRY_HEADER = 64
+
+
+def retry_nbytes(nbytes: int, attempts: int) -> int:
+    """Total wire bytes for a transfer that needed ``attempts`` sends.
+
+    One clean send costs ``nbytes``; every extra attempt re-pays the
+    payload plus a :data:`RETRY_HEADER` for the loss signal. Used by
+    the chaos engine's drop-with-retry fault to keep ``net.bytes``
+    accounting honest under injected loss.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    return nbytes + (attempts - 1) * (nbytes + RETRY_HEADER)
 
 
 def batched_nbytes(payload_sizes, envelope: int = ENVELOPE,

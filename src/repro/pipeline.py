@@ -236,7 +236,8 @@ def _get_path(spec: Dict[str, Any], dotted: str) -> Any:
 
 def run_pipeline(text_or_path: str, workdir: Optional[str] = None,
                  trace_path: Optional[str] = None,
-                 on_variant: Optional[Callable] = None
+                 on_variant: Optional[Callable] = None,
+                 on_cluster: Optional[Callable] = None
                  ) -> List[Dict[str, Any]]:
     """Execute a pipeline; returns (and persists) the stats rows.
 
@@ -245,7 +246,10 @@ def run_pipeline(text_or_path: str, workdir: Optional[str] = None,
     ``.<i>`` before the extension). ``on_variant(cluster, variant,
     row)`` is invoked after each variant completes, while the cluster
     (tracer, monitor) is still live — the hook `repro report` uses for
-    live-mode analysis.
+    live-mode analysis. ``on_cluster(cluster, variant)`` is invoked
+    right after each variant's cluster is built and before the app
+    runs — the hook `repro chaos` uses to install fault injection and
+    the history recorder.
     """
     if os.path.exists(text_or_path):
         with open(text_or_path, encoding="utf-8") as fh:
@@ -270,6 +274,8 @@ def run_pipeline(text_or_path: str, workdir: Optional[str] = None,
         cluster = build_cluster(variant.get("cluster"))
         if trace_path:
             cluster.tracer.enabled = True
+        if on_cluster is not None:
+            on_cluster(cluster, variant)
         trace_file = None
         if trace_path:
             trace_file = trace_path

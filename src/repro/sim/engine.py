@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import random
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -393,6 +394,13 @@ class Simulator:
         if fast is None:
             fast = os.environ.get("MEGAMMAP_SLOW_KERNEL", "") in ("", "0")
         self._fast = bool(fast)
+        #: Schedule perturbation (chaos testing): when armed via
+        #: :meth:`enable_perturbation`, ties among same-``(time,
+        #: priority)`` events are broken by a seeded random draw
+        #: instead of FIFO ``seq`` order. Off (``None``) by default —
+        #: the scheduling code below is untouched when off, so results
+        #: are bit-for-bit identical to a simulator without the flag.
+        self._perturb: Optional[random.Random] = None
         #: True while the single/last callback of the event currently
         #: being processed runs — the only point where the trampoline
         #: may consume the next event inline.
@@ -430,6 +438,37 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def enable_perturbation(self, seed: int) -> None:
+        """Arm randomized tie-breaking among same-timestamp events.
+
+        Every subsequently scheduled event gets a seeded random rank
+        as its tie-break key (monotonic ``seq`` stays as the final
+        tiebreaker, so the order remains total and the run remains
+        deterministic for a given ``seed``). The microqueue/trampoline
+        fast paths assume FIFO ``seq`` order, so arming perturbation
+        forces the heap-only kernel and re-keys pending entries. Chaos
+        testing uses this to explore legal-but-different event
+        interleavings.
+        """
+        rng = random.Random(seed)
+        self._perturb = rng
+        self._fast = False
+        # Re-key already-pending entries with random ranks too: int
+        # and tuple tie-break keys must never coexist in one heap (a
+        # same-(time, priority) comparison between them would raise),
+        # and the microqueue merge in step() compares heap keys
+        # against integer ``_qseq`` values.
+        entries = [(t, p, (rng.random(), s), e)
+                   for t, p, s, e in self._heap]
+        for prio, q in ((URGENT, self._imm_urgent),
+                        (NORMAL, self._imm_normal)):
+            while q:
+                evt = q.popleft()
+                entries.append((self.now, prio,
+                                (rng.random(), evt._qseq), evt))
+        heapq.heapify(entries)
+        self._heap = entries
+
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         if event._scheduled:
@@ -437,6 +476,16 @@ class Simulator:
         event._scheduled = True
         seq = self._seq
         self._seq = seq + 1
+        if self._perturb is not None:
+            # Tuple tie-break key: random rank first, seq second for
+            # totality. Tuples compare fine against each other, and the
+            # fast-path comparisons against ``_qseq`` never run (the
+            # microqueues stay empty once perturbation is armed).
+            heapq.heappush(self._heap, (self.now + delay, priority,
+                                        (self._perturb.random(), seq),
+                                        event))
+            self.heap_events += 1
+            return
         if self._fast and delay == 0.0:
             if priority == URGENT:
                 event._qseq = seq

@@ -11,6 +11,7 @@ process interleaving. The paper's transaction API likewise propagates
 from __future__ import annotations
 
 import hashlib
+import random
 from typing import Union
 
 import numpy as np
@@ -41,3 +42,14 @@ def spawn_seed(root: int, *keys: Key) -> int:
 def rng_stream(root: int, *keys: Key) -> np.random.Generator:
     """Independent ``numpy.random.Generator`` for the given key path."""
     return np.random.default_rng(spawn_seed(root, *keys))
+
+
+def py_rng(root: int, *keys: Key) -> random.Random:
+    """Independent stdlib ``random.Random`` for the given key path.
+
+    The chaos engine uses stdlib streams (cheap single draws, no numpy
+    array machinery) for fault scheduling and tie-break perturbation;
+    like :func:`rng_stream` the stream is a pure function of the key
+    path, so plans are replayable bit-for-bit.
+    """
+    return random.Random(spawn_seed(root, *keys))

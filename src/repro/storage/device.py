@@ -97,6 +97,11 @@ class Device:
                                     tier=spec.kind)
         else:
             self._m_read = self._m_write = self._m_used = None
+        #: Fault-injection hook (``repro.chaos``). When set, each timed
+        #: transfer asks ``chaos.stall_time(device, nbytes, write)`` for
+        #: extra service time (slow-tier stall windows). ``None`` (the
+        #: default) leaves the timing model untouched.
+        self.chaos = None
 
     # -- capacity --------------------------------------------------------
     @property
@@ -124,7 +129,10 @@ class Device:
         req = self._queue.request()
         yield req
         try:
-            yield self.sim.timeout(self.spec.xfer_time(nbytes, write))
+            t = self.spec.xfer_time(nbytes, write)
+            if self.chaos is not None:
+                t += self.chaos.stall_time(self, nbytes, write)
+            yield self.sim.timeout(t)
         finally:
             self._queue.release(req)
         if self.monitor is not None:

@@ -1,0 +1,151 @@
+"""Campaign driver: seed-replay determinism, the ddmin shrinker, the
+25-seed acceptance campaign, and the CLI entry point."""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import ChaosPlan, run_campaign, run_case, \
+    shrink_faults
+from repro.chaos.campaign import measure_horizon, shrink_case, \
+    write_replay
+
+PIPELINE = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "pipelines", "chaos_kmeans_2n.yaml")
+
+SMALL_KMEANS = """
+name: chaos-small
+cluster:
+  n_nodes: 2
+  procs_per_node: 2
+  dram_mb: 16
+  nvme_mb: 64
+  page_size: 65536
+  replication_factor: 2
+  integrity_checks: true
+dataset:
+  kind: points
+  n: 4000
+  k: 4
+  seed: 7
+  path: points.parquet
+app:
+  kind: mm_kmeans
+  k: 4
+  max_iter: 2
+"""
+
+
+@pytest.fixture(scope="module")
+def horizon(tmp_path_factory):
+    wd = str(tmp_path_factory.mktemp("probe"))
+    return measure_horizon(SMALL_KMEANS, workdir=wd)
+
+
+def test_same_seed_same_trace_hash(tmp_path, horizon):
+    wd = str(tmp_path)
+    a = run_case(SMALL_KMEANS, 5, horizon=horizon, workdir=wd)
+    b = run_case(SMALL_KMEANS, 5, horizon=horizon, workdir=wd)
+    assert a.ok and b.ok
+    assert a.trace_hash == b.trace_hash
+    assert a.events == b.events and a.events > 0
+    assert a.plan.faults == b.plan.faults
+
+
+def test_different_seed_different_trace_hash(tmp_path, horizon):
+    wd = str(tmp_path)
+    a = run_case(SMALL_KMEANS, 1, horizon=horizon, workdir=wd)
+    b = run_case(SMALL_KMEANS, 2, horizon=horizon, workdir=wd)
+    assert a.ok and b.ok
+    assert a.trace_hash != b.trace_hash
+
+
+def test_perturbed_run_still_passes_the_checker(tmp_path, horizon):
+    res = run_case(SMALL_KMEANS, 4, horizon=horizon, perturb=True,
+                   workdir=str(tmp_path))
+    assert res.ok, (res.error, res.violations[:3],
+                    res.conservation[:3])
+
+
+def test_acceptance_campaign_25_seeds_crash_partition_corrupt(
+        tmp_path):
+    """ISSUE acceptance: >= 25 seeded campaigns over the 2-node KMeans
+    pipeline pass the coherence checker with crashes, partitions, and
+    corruption enabled."""
+    results = run_campaign(PIPELINE, range(25),
+                           kinds=("crash", "partition", "corrupt"),
+                           workdir=str(tmp_path))
+    bad = [r.summary() for r in results if not r.ok]
+    assert not bad, bad
+    assert all(r.checked_reads > 0 for r in results)
+    # The campaign genuinely injected faults, not just clean runs.
+    assert sum(r.faults_applied for r in results) > 25
+
+
+def test_shrinker_converges_on_known_two_fault_repro():
+    culprits = {2, 7}
+    probes = []
+
+    def predicate(indices):
+        probes.append(sorted(indices))
+        return culprits <= set(indices)
+
+    assert shrink_faults(predicate, 10) == [2, 7]
+    # ddmin beats brute force: far fewer probes than 2^10 subsets.
+    assert len(probes) < 60
+
+
+def test_shrinker_single_fault_and_non_failing_set():
+    assert shrink_faults(lambda idx: 3 in idx, 8) == [3]
+    # A full set that does not fail is returned unchanged.
+    assert shrink_faults(lambda idx: False, 4) == [0, 1, 2, 3]
+    assert shrink_faults(lambda idx: True, 0) == []
+    assert shrink_faults(lambda idx: True, 1) == [0]
+
+
+def test_shrink_case_runs_subset_plans(tmp_path, horizon):
+    """shrink_case wires the ddmin predicate to real subset re-runs;
+    with a case that (correctly) passes on every subset, the shrinker
+    must conclude the full plan is not reducible."""
+    res = run_case(SMALL_KMEANS, 3, horizon=horizon,
+                   workdir=str(tmp_path))
+    assert res.ok and len(res.plan.faults) >= 2
+    minimal, keep = shrink_case(SMALL_KMEANS, res,
+                                workdir=str(tmp_path))
+    assert keep == list(range(len(res.plan.faults)))
+    assert minimal.faults == res.plan.faults
+
+
+def test_replay_file_roundtrip(tmp_path, horizon):
+    res = run_case(SMALL_KMEANS, 6, horizon=horizon,
+                   workdir=str(tmp_path))
+    path = str(tmp_path / "replay.json")
+    write_replay(path, res, minimal=res.plan.subset([0]))
+    doc = json.loads(open(path).read())
+    assert doc["seed"] == 6 and doc["trace_hash"] == res.trace_hash
+    # The replay file doubles as a ChaosPlan: rebuild and re-run.
+    plan = ChaosPlan.from_json(path)
+    assert plan.faults == res.plan.faults
+    again = run_case(SMALL_KMEANS, plan.seed, horizon=plan.horizon,
+                     plan=plan, workdir=str(tmp_path))
+    assert again.trace_hash == res.trace_hash
+
+
+def test_cli_chaos_campaign_and_replay(tmp_path, capsys):
+    from repro.__main__ import main
+    wd = str(tmp_path)
+    rc = main(["chaos", PIPELINE, "--seeds", "2",
+               "--faults", "crash,corrupt", "--workdir", wd])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "campaign: 2/2 seeds clean" in out
+    # Replay mode re-runs a persisted plan.
+    res = run_case(PIPELINE, 0, horizon=measure_horizon(
+        PIPELINE, workdir=wd), workdir=wd)
+    replay = str(tmp_path / "r.json")
+    res.plan.to_json(replay)
+    rc = main(["chaos", PIPELINE, "--workdir", wd,
+               "--replay", replay])
+    assert rc == 0
+    assert "seed 0: ok" in capsys.readouterr().out

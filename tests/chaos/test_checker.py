@@ -1,0 +1,190 @@
+"""Coherence model-checker: clean runs stay clean, broken coherence
+is caught, and the weakened (read-after-write-disabled) checker stub
+demonstrably misses what the full checker flags — the mutation test
+that proves the checker's RAW clause is load-bearing.
+"""
+
+import numpy as np
+
+from repro.chaos import CoherenceChecker, HistoryRecorder
+from repro.chaos.checker import check_conservation
+from repro.core import MM_READ_ONLY, MM_READ_WRITE, MM_WRITE_ONLY, \
+    SeqTx
+from repro.core.scache import ScacheExecutor
+from tests.core.conftest import build_system, run_procs
+
+PAGE = 4096
+N = PAGE  # one page of uint8
+
+
+def _install(system, raw_check=True):
+    checker = CoherenceChecker(raw_check=raw_check)
+    system.history = HistoryRecorder(system, checker)
+    return checker
+
+
+def _exchange(system):
+    """Two ranks write disjoint halves, flush, read the other half."""
+    c0 = system.client(rank=0, node=0)
+    c1 = system.client(rank=1, node=1)
+    half = N
+    ready = [system.sim.event(), system.sim.event()]
+
+    def rank(client, i):
+        vec = yield from client.vector("x", dtype=np.uint8,
+                                       size=2 * half)
+        lo = i * half
+        data = ((np.arange(half) + i) % 199).astype(np.uint8)
+        yield from vec.tx_begin(SeqTx(lo, half, MM_WRITE_ONLY))
+        yield from vec.write_range(lo, data)
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        ready[i].succeed()
+        yield ready[1 - i]
+        other = (1 - i) * half
+        yield from vec.tx_begin(SeqTx(other, half, MM_READ_ONLY))
+        out = yield from vec.read_range(other, half)
+        yield from vec.tx_end()
+        return out
+
+    return rank(c0, 0), rank(c1, 1)
+
+
+def test_clean_exchange_has_no_violations():
+    sim, system = build_system()
+    checker = _install(system)
+    a, b = run_procs(sim, *_exchange(system))
+    assert np.array_equal(a, (np.arange(N) + 1) % 199)
+    assert np.array_equal(b, np.arange(N) % 199)
+    checker.finalize(system)
+    assert checker.violations == []
+    assert checker.checked_reads >= 2
+    assert system.history.events > 0
+
+
+def test_trace_hash_is_replayable_and_workload_sensitive():
+    hashes = []
+    for _ in range(2):
+        sim, system = build_system()
+        _install(system)
+        run_procs(sim, *_exchange(system))
+        hashes.append(system.history.trace_hash())
+    assert hashes[0] == hashes[1]
+
+    sim, system = build_system()
+    _install(system)
+
+    def tiny():
+        c = system.client(rank=0, node=0)
+        vec = yield from c.vector("x", dtype=np.uint8, size=N)
+        yield from vec.tx_begin(SeqTx(0, N, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.zeros(N, np.uint8))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+
+    run_procs(sim, tiny())
+    assert system.history.trace_hash() != hashes[0]
+
+
+def _lost_update_workload(system, broken):
+    """write v1 -> flush -> write v2 -> dirty evict -> read back.
+
+    With a correct scache the read returns v2 (the acknowledged,
+    shipped-but-unflushed write). ``broken`` arms a write path that
+    acknowledges v2 and drops it, so the read returns v1 — stale for
+    the writing rank itself.
+    """
+    client = system.client(rank=0, node=0)
+    v1 = np.full(N, 3, np.uint8)
+    v2 = np.full(N, 9, np.uint8)
+
+    def app():
+        vec = yield from client.vector("m", dtype=np.uint8, size=N)
+        yield from vec.tx_begin(SeqTx(0, N, MM_READ_WRITE))
+        yield from vec.write_range(0, v1)
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        broken["on"] = True
+        yield from vec.tx_begin(SeqTx(0, N, MM_READ_WRITE))
+        yield from vec.write_range(0, v2)
+        yield from vec.tx_end()
+        yield from vec.evict_page(0)  # ships the dirty fragments
+        yield from client.drain()
+        yield from vec.tx_begin(SeqTx(0, N, MM_READ_ONLY))
+        out = yield from vec.read_range(0, N)
+        yield from vec.tx_end()
+        return out
+
+    return app, v1, v2
+
+
+def _patch_broken_writes(monkeypatch, broken):
+    orig_write = ScacheExecutor._write
+    orig_write_batch = ScacheExecutor._write_batch
+
+    def bad_write(self, vec, task):
+        if broken["on"]:
+            return  # acknowledge without applying: a lost update
+            yield  # pragma: no cover - marks this as a generator
+        yield from orig_write(self, vec, task)
+
+    def bad_write_batch(self, vec, batch):
+        if broken["on"]:
+            return [None] * len(batch.tasks)
+            yield  # pragma: no cover - marks this as a generator
+        return (yield from orig_write_batch(self, vec, batch))
+
+    monkeypatch.setattr(ScacheExecutor, "_write", bad_write)
+    monkeypatch.setattr(ScacheExecutor, "_write_batch",
+                        bad_write_batch)
+
+
+def test_full_checker_catches_lost_update(monkeypatch):
+    sim, system = build_system()
+    checker = _install(system, raw_check=True)
+    broken = {"on": False}
+    _patch_broken_writes(monkeypatch, broken)
+    app, v1, _v2 = _lost_update_workload(system, broken)
+    out, = run_procs(sim, app())
+    # The sabotage really happened: the read surfaced stale v1.
+    assert np.array_equal(out, v1)
+    assert checker.violations, "full checker missed the lost update"
+    assert any(v["check"] == "stale_or_lost_read"
+               for v in checker.violations)
+
+
+def test_weakened_stub_misses_what_the_full_checker_catches(
+        monkeypatch):
+    sim, system = build_system()
+    stub = _install(system, raw_check=False)
+    broken = {"on": False}
+    _patch_broken_writes(monkeypatch, broken)
+    app, v1, _v2 = _lost_update_workload(system, broken)
+    out, = run_procs(sim, app())
+    assert np.array_equal(out, v1)
+    # Same history, read-after-write clause disabled: no detection.
+    # This is the mutation the chaos tests exist to catch.
+    stub.finalize(system)
+    assert stub.violations == []
+
+
+def test_correct_run_of_the_same_workload_is_clean():
+    sim, system = build_system()
+    checker = _install(system, raw_check=True)
+    # Same script, sabotage never armed (and write paths unpatched):
+    # the acknowledged v2 is really applied, so the read-after-write
+    # clause is satisfied and the checker stays quiet.
+    app, _v1, v2 = _lost_update_workload(system, {"on": False})
+    out, = run_procs(sim, app())
+    assert np.array_equal(out, v2)
+    checker.finalize(system)
+    assert checker.violations == []
+
+
+def test_conservation_check_flags_device_accounting_breach():
+    sim, system = build_system()
+    assert check_conservation(system) == []
+    dev = system.dmshs[0].tier("dram")
+    dev.used = dev.capacity + 1
+    problems = check_conservation(system)
+    assert problems and "outside" in problems[0]

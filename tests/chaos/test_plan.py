@@ -1,0 +1,75 @@
+"""ChaosPlan: deterministic generation, projection, replay files."""
+
+import pytest
+
+from repro.chaos import ChaosPlan, Fault
+from repro.chaos.plan import FAULT_KINDS
+
+
+def test_build_is_a_pure_function_of_its_arguments():
+    a = ChaosPlan.build(42, n_nodes=4, horizon=2.0)
+    b = ChaosPlan.build(42, n_nodes=4, horizon=2.0)
+    assert a.faults == b.faults
+    assert a.faults, "seed 42 drew an empty schedule"
+
+
+def test_different_seeds_draw_different_schedules():
+    a = ChaosPlan.build(1, n_nodes=4, horizon=2.0)
+    b = ChaosPlan.build(2, n_nodes=4, horizon=2.0)
+    assert a.faults != b.faults
+
+
+def test_faults_respect_window_kinds_and_order():
+    plan = ChaosPlan.build(7, n_nodes=3, horizon=10.0,
+                           kinds=("crash", "corrupt"))
+    assert plan.faults
+    for f in plan.faults:
+        assert f.kind in ("crash", "corrupt")
+        assert 0.15 * 10.0 <= f.time <= 0.85 * 10.0
+        if f.kind == "crash":
+            assert 0 <= f.node < 3
+            assert f.duration > 0
+    times = [f.time for f in plan.faults]
+    assert times == sorted(times)
+
+
+def test_single_node_cluster_draws_no_crashes_or_partitions():
+    plan = ChaosPlan.build(3, n_nodes=1, horizon=1.0)
+    assert all(f.kind not in ("crash", "partition")
+               for f in plan.faults)
+
+
+def test_build_rejects_unknown_kind_and_bad_horizon():
+    with pytest.raises(ValueError):
+        ChaosPlan.build(0, n_nodes=2, horizon=1.0, kinds=("meteor",))
+    with pytest.raises(ValueError):
+        ChaosPlan.build(0, n_nodes=2, horizon=0.0)
+
+
+def test_subset_projects_and_keeps_seed():
+    plan = ChaosPlan.build(9, n_nodes=4, horizon=5.0)
+    assert len(plan.faults) >= 3
+    sub = plan.subset([2, 0, 2])
+    assert sub.seed == plan.seed
+    assert sub.faults == [plan.faults[0], plan.faults[2]]
+    assert plan.subset(range(len(plan.faults))).faults == plan.faults
+
+
+def test_json_roundtrip_via_text_and_path(tmp_path):
+    plan = ChaosPlan.build(11, n_nodes=3, horizon=4.0, perturb=True)
+    assert ChaosPlan.from_json(plan.to_json()) == plan
+    path = tmp_path / "replay.json"
+    plan.to_json(str(path))
+    assert ChaosPlan.from_json(str(path)) == plan
+    back = ChaosPlan.from_json(str(path))
+    assert all(isinstance(f, Fault) for f in back.faults)
+    assert all(isinstance(f.nodes, tuple) for f in back.faults)
+
+
+def test_intensity_scales_fault_count():
+    lo = ChaosPlan.build(5, n_nodes=4, horizon=2.0, intensity=0.0)
+    hi = ChaosPlan.build(5, n_nodes=4, horizon=2.0, intensity=4.0)
+    assert len(lo.faults) == 0
+    assert len(hi.faults) > len(
+        ChaosPlan.build(5, n_nodes=4, horizon=2.0).faults)
+    assert set(FAULT_KINDS) >= {f.kind for f in hi.faults}

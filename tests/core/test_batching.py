@@ -8,10 +8,13 @@ coherence behaviour — batching only changes how many envelopes and
 network transfers the work costs.
 """
 
+import random
+
 import numpy as np
 import pytest
 
-from repro.core import MM_READ_ONLY, MM_READ_WRITE, MM_WRITE_ONLY, SeqTx
+from repro.core import MM_APPEND_ONLY, MM_READ_ONLY, MM_READ_WRITE, \
+    MM_WRITE_ONLY, SeqTx
 from repro.core.memtask import BatchTask, MemoryTask, TaskKind
 from repro.core.transaction import PageRegion, coalesce_page_runs
 from repro.net.message import ENVELOPE, ITEM_HEADER, batched_nbytes
@@ -372,3 +375,154 @@ def test_hermes_put_many_matches_per_blob_puts(dsm):
     assert system.monitor.counter("hermes.vectored_puts") == 2
     # Only the 4 fresh placements count; in-place updates do not.
     assert system.monitor.counter("hermes.puts") == 4
+
+
+# -- property-based hardening (stdlib random, fixed seeds) --------------------
+
+def _random_regions(rng):
+    pages = sorted(rng.choices(range(48), k=rng.randint(1, 24)))
+    return [PageRegion(p, rng.randrange(8), rng.randint(1, 32))
+            for p in pages]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_coalesce_page_runs_roundtrip_properties(seed):
+    """Randomized invariants: coalescing is a pure regrouping — the
+    concatenation of the runs is the input, runs are contiguous, the
+    cap is honoured, and splits happen only at gaps or the cap."""
+    rng = random.Random(seed)
+    for _ in range(100):
+        regions = _random_regions(rng)
+        max_run = rng.choice([None, 1, 2, 3, 5])
+        runs = coalesce_page_runs(regions, max_run=max_run)
+        assert [r for run in runs for r in run] == regions
+        for run in runs:
+            assert run
+            for a, b in zip(run, run[1:]):
+                assert b.page_idx == a.page_idx + 1
+            if max_run is not None:
+                assert len(run) <= max_run
+        for a, b in zip(runs, runs[1:]):
+            gap = b[0].page_idx != a[-1].page_idx + 1
+            capped = max_run is not None and len(a) == max_run
+            assert gap or capped
+
+
+def _payload(off, length, salt):
+    return ((np.arange(off, off + length) * 31 + salt) % 251) \
+        .astype(np.uint8)
+
+
+def _random_scripts(rng, total, half):
+    """Two per-rank op scripts over disjoint halves, plus rank-0-only
+    append lengths for a second vector."""
+    scripts = []
+    for rank in (0, 1):
+        base, ops = rank * half, []
+        for _ in range(rng.randint(4, 10)):
+            kind = rng.choice(("write", "write", "read", "flush"))
+            if kind == "flush":
+                ops.append(("flush",))
+                continue
+            off = rng.randrange(half - 1)
+            length = rng.randint(1, half - off)
+            if kind == "write":
+                ops.append(("write", base + off, length,
+                            rng.randrange(256)))
+            else:
+                ops.append(("read", base + off, length))
+        scripts.append(ops)
+    appends = [(rng.randint(1, half // 2), rng.randrange(256))
+               for _ in range(rng.randint(1, 3))]
+    return scripts, appends
+
+
+def _scripted_workload(batching_enabled, page, scripts, appends):
+    """Run the random scripts; returns (final contents, appended log,
+    reads seen by each rank in script order)."""
+    sim, system = build_system(batching_enabled=batching_enabled,
+                               page_size=page)
+    total = N_PAGES * page
+    half = total // 2
+    done = [sim.event(), sim.event()]
+
+    def rank_proc(rank, ops):
+        client = system.client(rank=rank, node=rank)
+        vec = yield from client.vector("prop", dtype=np.uint8,
+                                       size=total)
+        seen = []
+        base = rank * half
+        yield from vec.tx_begin(SeqTx(base, half, MM_READ_WRITE))
+        for op in ops:
+            if op[0] == "write":
+                _, off, length, salt = op
+                yield from vec.write_range(
+                    off, _payload(off, length, salt))
+            elif op[0] == "read":
+                _, off, length = op
+                out = yield from vec.read_range(off, length)
+                seen.append(bytes(out))
+            else:
+                yield from vec.tx_end()
+                yield from vec.flush(wait=True)
+                yield from vec.tx_begin(
+                    SeqTx(base, half, MM_READ_WRITE))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+
+        if rank == 0:
+            log = yield from client.vector("prop-log",
+                                           dtype=np.uint8, size=0)
+            yield from log.tx_begin(SeqTx(0, 0, MM_APPEND_ONLY))
+            for length, salt in appends:
+                yield from log.append(_payload(0, length, salt))
+            yield from log.tx_end()
+            yield from log.flush(wait=True)
+
+        done[rank].succeed()
+        yield done[1 - rank]
+        if rank != 0:
+            return None, seen
+        yield from vec.tx_begin(SeqTx(0, total, MM_READ_ONLY))
+        final = yield from vec.read_range(0, total)
+        yield from vec.tx_end()
+        log_len = log.shared.length
+        yield from log.tx_begin(SeqTx(0, log_len, MM_READ_ONLY))
+        tail = yield from log.read_range(0, log_len)
+        yield from log.tx_end()
+        yield from client.drain()
+        return (bytes(final), bytes(tail)), seen
+
+    (r0, seen0), (_none, seen1) = run_procs(
+        sim, rank_proc(0, scripts[0]), rank_proc(1, scripts[1]))
+    return r0, (seen0, seen1)
+
+
+@pytest.mark.parametrize("seed", [11, 23, 37])
+def test_batched_equals_unbatched_under_random_interleavings(seed):
+    """Bit-for-bit equivalence property: a random two-rank script of
+    writes/reads/flushes over disjoint halves (plus rank-0 appends on
+    a second vector) produces identical bytes with batching on and
+    off, and both match a shadow-array oracle."""
+    rng = random.Random(seed)
+    page = rng.choice((1024, 2048, 4096))
+    total = N_PAGES * page
+    scripts, appends = _random_scripts(rng, total, total // 2)
+
+    shadow = np.zeros(total, np.uint8)
+    for ops in scripts:
+        for op in ops:
+            if op[0] == "write":
+                _, off, length, salt = op
+                shadow[off:off + length] = _payload(off, length, salt)
+    log_oracle = np.concatenate(
+        [_payload(0, length, salt) for length, salt in appends])
+
+    (final_b, tail_b), reads_b = _scripted_workload(
+        True, page, scripts, appends)
+    (final_u, tail_u), reads_u = _scripted_workload(
+        False, page, scripts, appends)
+    assert final_b == final_u == shadow.tobytes()
+    assert tail_b == tail_u == log_oracle.tobytes()
+    # Every intermediate read observed the same bytes in both modes.
+    assert reads_b == reads_u

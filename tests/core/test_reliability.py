@@ -163,3 +163,65 @@ def test_corruption_recovered_from_backend(tmp_path):
 def test_corrupt_page_missing_blob_is_noop():
     sim, system = build_system()
     assert corrupt_page(system, "nothing", 0) is False
+
+
+def test_recover_page_restages_when_every_replica_node_failed(
+        tmp_path):
+    """All copies of a persisted page die (primary *and* replica
+    node): recover_page must fall through replica failover to a
+    backend re-stage — the fault path the chaos campaign exercises
+    with crash faults on replicated nonvolatile vectors."""
+    sim, system = build_system(n_nodes=3, replication_factor=2)
+    c0 = system.client(rank=0, node=0)
+    url = f"posix://{tmp_path}/r.bin"
+    data = np.arange(N, dtype=np.int32)
+
+    def writer():
+        vec = yield from c0.vector(url, dtype=np.int32, size=N)
+        yield from vec.tx_begin(SeqTx(0, N, MM_WRITE_ONLY))
+        yield from vec.write_range(0, data)
+        yield from vec.tx_end()
+        yield from vec.persist()
+        yield system.sim.timeout(0.5)  # let replication land
+
+    run_procs(sim, writer())
+    info = system.hermes.mdm.peek(url, 0)
+    assert info.replicas, "replication should have landed"
+    holders = {info.node} | {n for n, _ in info.replicas}
+    assert len(holders) >= 2
+    for n in holders:
+        system.reliability.fail_node(n)
+    survivor = next(n for n in range(3) if n not in holders)
+    out, = run_procs(sim, _read(system.client(1, survivor), url)())
+    assert np.array_equal(out, data)
+    assert system.monitor.counter("reliability.restages") > 0
+    restaged = system.monitor.metrics.counter(
+        "reliability_repairs", reason="backend_restage")
+    assert restaged.value > 0
+
+
+def test_node_failure_during_inflight_batched_read():
+    """fail_node racing an in-flight batched read: the vectored fetch
+    loses its source mid-batch and must fail over to a replica (the
+    crash race the chaos engine originally flushed out)."""
+    sim, system = build_system(n_nodes=3, replication_factor=2)
+    c0 = system.client(rank=0, node=0)
+    app, data = _write(system, c0)
+    run_procs(sim, app())
+    victim = system.hermes.mdm.peek("v", 0).node
+    reader_node = (victim + 1) % 3
+    base = system.monitor.counter("hermes.gets")
+
+    def saboteur():
+        # Wait for the batch to start fetching, then crash the
+        # primary while its pages are still in flight.
+        while system.monitor.counter("hermes.gets") <= base:
+            yield sim.timeout(1e-7)
+        system.reliability.fail_node(victim)
+        return system.sim.now
+
+    out, when = run_procs(
+        sim, _read(system.client(1, reader_node))(), saboteur())
+    assert when > 0.0  # the crash really happened mid-run
+    assert np.array_equal(out, data)
+    assert system.monitor.counter("reliability.promotions") > 0

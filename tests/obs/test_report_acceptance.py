@@ -121,6 +121,46 @@ def test_diff_attributes_batching_delta_to_rpc_and_net():
     assert "critical-path delta by category" in text
 
 
+def _repair_workload(ctx):
+    """Write + replicate, then sabotage one replica so the background
+    repair loop has real under-replication to fix."""
+    system = ctx.mm.system
+    vec = yield from ctx.mm.vector("repaired", dtype=np.uint8,
+                                   size=4 * PAGE)
+    if ctx.rank == 0:
+        yield from vec.tx_begin(SeqTx(0, 4 * PAGE, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.ones(4 * PAGE, np.uint8))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        yield system.sim.timeout(0.5)  # let replication land
+        info = next(i for i in system.hermes.mdm
+                    .list_bucket("repaired") if i.replicas)
+        node, tier = info.replicas.pop(0)
+        dev = system.dmshs[node].tier(tier)
+        if ("repaired", info.key) in dev:
+            dev.delete(("repaired", info.key))
+        # Sleep past several repair periods (4 * organizer_period).
+        yield system.sim.timeout(1.0)
+    yield from ctx.barrier()
+
+
+def test_repair_loop_emits_labeled_metric_and_chaos_span():
+    """The repair loop is observable: each top-up increments the
+    labeled ``reliability_repairs{reason=under_replicated}`` counter,
+    the flat repairs counter, and opens a ``chaos``-category span —
+    the signals the chaos campaign's triage reports key off."""
+    c = testbed(n_nodes=3, procs_per_node=1, page_size=PAGE,
+                trace=True, replication_factor=2)
+    c.run(_repair_workload)
+    labeled = c.monitor.metrics.counter("reliability_repairs",
+                                        reason="under_replicated")
+    assert labeled.value > 0
+    assert c.monitor.counter("reliability.repairs") > 0
+    repair_spans = [s for s in c.tracer.spans
+                    if s.name == "repair" and s.category == "chaos"]
+    assert repair_spans, "repair ran without a chaos-category span"
+
+
 def test_live_analysis_includes_gauge_leg_and_occupancy():
     analysis, _ = _run_exchange(batching=True)
     # Live mode (monitor passed) adds the independent Little's-law leg

@@ -73,3 +73,55 @@ def test_pipeline_bit_for_bit_equivalent(monkeypatch):
     # is meaningful.
     assert res_fast.stats.get("pcache.faults", 0) > 0
     assert res_fast.stats.get("net.bytes", 0) > 0
+
+
+def _run_chaos(perturb: bool):
+    """Same testbed with the chaos machinery armed on an empty plan."""
+    from repro.chaos import ChaosInjector, ChaosPlan, \
+        CoherenceChecker, HistoryRecorder
+    c = testbed(n_nodes=2, procs_per_node=1,
+                pcache=(PAGES_PER_RANK + 4) * PAGE, seed=7)
+    plan = ChaosPlan(seed=0, n_nodes=2, horizon=1.0, faults=[],
+                     perturb=perturb)
+    checker = CoherenceChecker()
+    recorder = HistoryRecorder(c.system, checker)
+    c.system.history = recorder
+    ChaosInjector(c.system, plan, recorder).install()
+    res = c.run(_exchange, PAGES_PER_RANK)
+    checker.finalize(c.system)
+    return res, c, checker
+
+
+def test_chaos_off_is_bit_identical(monkeypatch):
+    """The acceptance gate for the injection plane: an *empty* fault
+    plan (chaos off) with the recorder and checker installed must not
+    perturb the simulation at all — runtime, values, and every
+    non-kernel counter are bit-for-bit those of a plain run."""
+    monkeypatch.setenv("MEGAMMAP_SLOW_KERNEL", "0")
+    res_plain, _ = _run(monkeypatch, slow=False)
+    res_chaos, _c, checker = _run_chaos(perturb=False)
+
+    assert res_chaos.runtime == res_plain.runtime
+    for got, want in zip(res_chaos.values, res_plain.values):
+        assert np.array_equal(got, want)
+
+    def visible(stats):
+        return {k: v for k, v in stats.items()
+                if not k.startswith("kernel.")}
+
+    assert visible(res_chaos.stats) == visible(res_plain.stats)
+    # The observer really observed (and found nothing wrong).
+    assert checker.checked_reads > 0
+    assert checker.violations == []
+
+
+def test_perturbed_schedule_keeps_application_values(monkeypatch):
+    """Randomized same-timestamp tie-breaking may reorder the event
+    loop, but application-visible bytes must be unchanged."""
+    monkeypatch.setenv("MEGAMMAP_SLOW_KERNEL", "0")
+    res_plain, _ = _run(monkeypatch, slow=False)
+    res_pert, _c, checker = _run_chaos(perturb=True)
+    assert len(res_pert.values) == len(res_plain.values) == 2
+    for got, want in zip(res_pert.values, res_plain.values):
+        assert np.array_equal(got, want)
+    assert checker.violations == []
