@@ -1,0 +1,162 @@
+"""Recovery-time benchmark: RTO vs WAL log size and snapshot cadence.
+
+A two-node durable deployment writes a volatile vector and commits it
+at flush barriers, then every holder node crashes and restarts. The
+restart replays each node's write-ahead intent log (the
+``wal-recover*`` process spawned by ``restore_node``) and the measured
+simulated wall time of that replay is the recovery-time objective.
+
+Two sweeps, matching the knobs the durability subsystem exposes:
+
+* **Log size** — more barrier-committed pages mean a bigger log to
+  scan and more blobs to re-register; RTO must grow monotonically.
+* **Snapshot cadence** (``wal_snapshot_every``) — folding the log into
+  a snapshot every N barriers drops superseded record versions and
+  per-barrier commit markers, so an aggressive cadence must shrink
+  both the durable log footprint and the RTO relative to a
+  never-snapshot log under the same write history.
+
+Every data point verifies the recovered bytes first (a fast recovery
+that restores garbage is not a recovery), then lands in the perf
+trajectory via ``emit_result``; the ``recovery.pages_per_sec`` record
+is gated by ``benchmarks/perf_floor.json`` in CI (higher is better —
+simulated pages restored per simulated second, so the value is
+deterministic and noise-free).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MM_READ_ONLY, MM_WRITE_ONLY, SeqTx
+from repro.sim import AllOf
+from benchmarks.common import emit_result, print_table, testbed, \
+    write_csv
+
+PAGE = 64 * 1024
+VEC = "recbench"
+NEVER = 10 ** 6  # a cadence no run reaches: the log never folds
+
+
+def _expected(n_pages: int, rounds: int) -> np.ndarray:
+    half = n_pages * PAGE // 2
+    return np.concatenate([
+        ((np.arange(half) + rank + 7 * (rounds - 1)) % 251)
+        .astype(np.uint8) for rank in range(2)])
+
+
+def _writer(ctx, n_pages, rounds):
+    """Each rank writes its half and flushes ``rounds`` times; every
+    flush is a transaction barrier that commits the WAL."""
+    half = n_pages * PAGE // 2
+    vec = yield from ctx.mm.vector(VEC, dtype=np.uint8,
+                                   size=n_pages * PAGE)
+    lo = ctx.rank * half
+    for r in range(rounds):
+        data = ((np.arange(half) + ctx.rank + 7 * r) % 251) \
+            .astype(np.uint8)
+        yield from vec.tx_begin(SeqTx(lo, half, MM_WRITE_ONLY))
+        yield from vec.write_range(lo, data)
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        yield from ctx.barrier()
+
+
+def _read_all(system, n_bytes):
+    client = system.client(0, 0)
+    vec = yield from client.vector(VEC, dtype=np.uint8)
+    yield from vec.tx_begin(SeqTx(0, n_bytes, MM_READ_ONLY))
+    out = yield from vec.read_range(0, n_bytes)
+    yield from vec.tx_end()
+    return out
+
+
+def _run_point(n_pages: int, cadence: int, rounds: int) -> dict:
+    c = testbed(n_nodes=2, procs_per_node=1, pmem_mb=64,
+                pcache=(n_pages + 4) * PAGE,
+                durability=True, wal_snapshot_every=cadence)
+    c.run(_writer, n_pages, rounds)
+    system, sim = c.system, c.sim
+    holders = sorted({i.node
+                      for i in system.hermes.mdm.list_bucket(VEC)})
+    assert holders, "the write phase left no pages behind"
+    log_bytes = sum(w.durable_bytes for w in system.durability.wals)
+    for n in holders:
+        system.reliability.fail_node(n)
+    # Crash + restart: restore_node spawns the WAL replay; the joined
+    # wall time of all per-node recoveries is the RTO.
+    t0 = sim.now
+    procs = [system.reliability.restore_node(n) for n in holders]
+    stats = sim.run(until=AllOf(sim, [p for p in procs if p]))
+    rto = sim.now - t0
+    restored = sum(s["restored"] for s in stats)
+    assert restored > 0, stats
+    assert all(s["bad_crc"] == 0 for s in stats), stats
+    # Recovered bytes must be the last barrier-committed image.
+    verify = sim.process(_read_all(system, n_pages * PAGE),
+                         name="verify")
+    out = sim.run(until=verify)
+    assert np.array_equal(out, _expected(n_pages, rounds))
+    return dict(pages=n_pages, barriers=rounds,
+                cadence=("never" if cadence == NEVER else cadence),
+                log_kb=round(log_bytes / 1024, 1),
+                rto_ms=round(rto * 1e3, 3),
+                restored=restored,
+                pages_per_sec=round(restored / rto, 1))
+
+
+def run_recovery():
+    # Sweep 1: log size (one barrier, growing committed page count).
+    size_rows = [_run_point(n, NEVER, rounds=1)
+                 for n in (8, 16, 32, 64)]
+    # Sweep 2: snapshot cadence under the same 8-barrier rewrite
+    # history of 32 pages — only the fold policy differs.
+    cadence_rows = [_run_point(32, cad, rounds=8)
+                    for cad in (1, 4, NEVER)]
+    return size_rows, cadence_rows
+
+
+run_recovery.__test__ = False
+
+
+@pytest.mark.benchmark(group="recovery")
+def test_recovery_rto(benchmark):
+    size_rows, cadence_rows = benchmark.pedantic(
+        run_recovery, rounds=1, iterations=1)
+    print_table("RTO vs log size (1 barrier, never-fold log)",
+                size_rows)
+    print_table("RTO vs snapshot cadence (32 pages x 8 barriers)",
+                cadence_rows)
+    write_csv("recovery", size_rows + cadence_rows)
+    # More committed state -> strictly more recovery work.
+    rtos = [r["rto_ms"] for r in size_rows]
+    assert rtos == sorted(rtos) and rtos[0] < rtos[-1], size_rows
+    # Folding beats an append-only log: the cadence-1 run keeps only
+    # the live image, the never-fold run drags every superseded
+    # version and commit marker through recovery.
+    by_cad = {r["cadence"]: r for r in cadence_rows}
+    assert by_cad[1]["log_kb"] < by_cad["never"]["log_kb"], \
+        cadence_rows
+    assert by_cad[1]["rto_ms"] <= by_cad["never"]["rto_ms"], \
+        cadence_rows
+    for r in size_rows:
+        emit_result("recovery", "recovery.rto_s",
+                    r["rto_ms"] / 1e3, "s",
+                    dict(pages=r["pages"], barriers=r["barriers"],
+                         cadence=str(r["cadence"]),
+                         log_kb=r["log_kb"]))
+    for r in cadence_rows:
+        emit_result("recovery", "recovery.rto_vs_cadence_s",
+                    r["rto_ms"] / 1e3, "s",
+                    dict(pages=r["pages"], barriers=r["barriers"],
+                         cadence=str(r["cadence"]),
+                         log_kb=r["log_kb"]))
+    # The CI floor metric: restore throughput of the largest log-size
+    # point (deterministic simulated time, not host wall-clock).
+    big = size_rows[-1]
+    emit_result("recovery", "recovery.pages_per_sec",
+                big["pages_per_sec"], "pages/s",
+                dict(pages=big["pages"], barriers=big["barriers"],
+                     cadence=str(big["cadence"]),
+                     log_kb=big["log_kb"]))

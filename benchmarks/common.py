@@ -22,7 +22,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.cluster import ClusterSpec, SimCluster
 from repro.core.config import MegaMmapConfig
 from repro.storage.device import DeviceSpec
-from repro.storage.tiers import DRAM, HDD, MB, NVME, SATA_SSD, scaled
+from repro.storage.tiers import (DRAM, HDD, MB, NVME, PMEM, SATA_SSD,
+                                 scaled)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -34,7 +35,7 @@ NODE_HDD_MB = 1024
 
 
 def testbed(n_nodes=4, procs_per_node=2, dram_mb=NODE_DRAM_MB,
-            nvme_mb=NODE_NVME_MB, ssd_mb=0, hdd_mb=0,
+            pmem_mb=0, nvme_mb=NODE_NVME_MB, ssd_mb=0, hdd_mb=0,
             page_size=64 * 1024, pcache=512 * 1024,
             pfs_spec=None, pfs_servers=2, seed=0,
             trace=None, **cfg) -> SimCluster:
@@ -46,6 +47,8 @@ def testbed(n_nodes=4, procs_per_node=2, dram_mb=NODE_DRAM_MB,
     rerun with tracing without editing it.
     """
     tiers = [scaled(DRAM, dram_mb * MB)]
+    if pmem_mb:
+        tiers.append(scaled(PMEM, pmem_mb * MB))
     if nvme_mb:
         tiers.append(scaled(NVME, nvme_mb * MB))
     if ssd_mb:

@@ -11,6 +11,12 @@ with no emitted record fail too (the benchmark did not run).
 Usage::
 
     python scripts/check_perf_floor.py [--results DIR] [--floors FILE]
+                                       [--match SUBSTR]
+
+``--match`` restricts the gate to floors whose metric name contains
+the substring — e.g. ``--match recovery`` lets the durability-smoke CI
+job enforce only the recovery floors without requiring the kernel
+benchmarks to have run in that job.
 """
 
 from __future__ import annotations
@@ -43,10 +49,18 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--results", default=DEFAULT_RESULTS)
     ap.add_argument("--floors", default=DEFAULT_FLOORS)
+    ap.add_argument("--match", default="",
+                    help="only enforce floors whose metric name "
+                         "contains this substring")
     args = ap.parse_args(argv)
 
     with open(args.floors, encoding="utf-8") as fh:
         floors = json.load(fh)["floors"]
+    if args.match:
+        floors = {m: f for m, f in floors.items() if args.match in m}
+        if not floors:
+            print(f"no floors match {args.match!r}", file=sys.stderr)
+            return 1
     metrics = load_latest_metrics(args.results)
 
     failures = []

@@ -132,10 +132,30 @@ def _cmd_chaos(args) -> int:
     from repro.chaos.campaign import (run_campaign, run_case,
                                       shrink_case, write_replay)
     workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-chaos-")
-    kinds = tuple(k.strip() for k in args.faults.split(",") if k.strip())
+    if args.faults is not None:
+        kinds = tuple(k.strip() for k in args.faults.split(",")
+                      if k.strip())
+    elif args.durability:
+        # Durability campaigns are crash campaigns: the clause under
+        # test is committed-barrier survival across crash+restart.
+        kinds = ("crash",)
+    else:
+        kinds = ("crash", "partition", "delay", "drop", "stall",
+                 "corrupt")
 
     def log(msg):
         print(msg, flush=True)
+
+    if args.durability:
+        from repro.core.config import load_yaml_subset
+        with open(args.pipeline, encoding="utf-8") as fh:
+            spec = load_yaml_subset(fh.read())
+        cluster_cfg = (spec or {}).get("cluster") or {}
+        if not cluster_cfg.get("durability"):
+            print(f"error: --durability needs the pipeline to declare "
+                  f"'durability: true' in its cluster section "
+                  f"({args.pipeline} does not)", file=sys.stderr)
+            return 2
 
     if args.replay:
         plan = ChaosPlan.from_json(args.replay)
@@ -243,9 +263,16 @@ def main(argv=None) -> int:
                          help="number of seeded cases to run")
     p_chaos.add_argument("--seed-base", type=int, default=0,
                          help="first seed (cases use seed-base..+seeds)")
-    p_chaos.add_argument("--faults", default=",".join(
-        ("crash", "partition", "delay", "drop", "stall", "corrupt")),
-        help="comma-separated fault kinds to inject")
+    p_chaos.add_argument("--faults", default=None,
+                         help="comma-separated fault kinds to inject "
+                              "(default: all kinds, or just 'crash' "
+                              "with --durability)")
+    p_chaos.add_argument("--durability", action="store_true",
+                         help="durability campaign: require the "
+                              "pipeline's durable mode, inject "
+                              "crash+restart faults, and hold reads "
+                              "to the committed-barrier clause (no "
+                              "crash excuse for flushed bytes)")
     p_chaos.add_argument("--intensity", type=float, default=1.0,
                          help="expected-fault-count multiplier")
     p_chaos.add_argument("--horizon", type=float, default=None,

@@ -81,7 +81,10 @@ def run_case(pipeline: str, seed: int, *, horizon: float,
         p = plan if plan is not None else ChaosPlan.build(
             seed, n_nodes=len(system.dmshs), horizon=horizon,
             kinds=kinds, intensity=intensity, perturb=perturb)
+        # Durable deployments are held to the stricter clause: no
+        # crash excuse for barrier-committed bytes.
         checker = CoherenceChecker(raw_check=raw_check,
+                                   durability=system.durability.enabled,
                                    max_violations=max_violations)
         recorder = HistoryRecorder(system, checker)
         system.history = recorder

@@ -121,9 +121,16 @@ class CoherenceChecker:
     """
 
     def __init__(self, raw_check: bool = True,
-                 max_violations: int = 200):
+                 max_violations: int = 200,
+                 durability: bool = False):
         self.raw_check = raw_check
         self.max_violations = max_violations
+        #: Durability clause (durable scache tier): bytes promoted at a
+        #: committed barrier must be readable after crash+restart, so a
+        #: crash never excuses serving the pre-barrier version. Bytes
+        #: committed after the last barrier may roll back (they match
+        #: ``stable``) but never tear.
+        self.durability = durability
         self.models: Dict[str, _VecModel] = {}
         self.violations: List[Violation] = []
         self.violation_count = 0
@@ -222,10 +229,18 @@ class CoherenceChecker:
         has_pending = writer != -1
         ok_pending = has_pending & (got == pending)
         # Crash rewind: a crash strictly after a promotion may lose it
-        # (failover serves the last replicated version).
-        cmax = max((c for c in self.crash_times if c <= t0),
+        # (failover serves the last replicated version). Any crash up
+        # to the read's *completion* counts — the fetch happens inside
+        # [t0, now], so a crash landing mid-read can affect the bytes
+        # served. The promotion comparison stays strict: a crash at
+        # exactly t == the barrier-commit instant is ordered with the
+        # commit and must never rewind (rebase) the committed writes.
+        cmax = max((c for c in self.crash_times if c <= now),
                    default=-np.inf)
-        crashed_since = m.promote_t[sl] < cmax
+        if self.durability:
+            crashed_since = np.zeros(got.shape, bool)
+        else:
+            crashed_since = m.promote_t[sl] < cmax
         horizon = m.horizon.get(rank, -np.inf)
         ok_prev = m.prev_valid[sl] & (got == m.prev[sl])
         if self.raw_check:

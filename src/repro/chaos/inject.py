@@ -163,6 +163,7 @@ class ChaosInjector:
     # -- crash / restart -------------------------------------------------
     def _crash_safe(self, node: int) -> bool:
         rel = self.system.reliability
+        dur = self.system.durability
         if node in rel.failed_nodes:
             return False
         live = [n for n in range(len(self.system.dmshs))
@@ -178,8 +179,15 @@ class ChaosInjector:
             at_risk = vec.volatile or info.key in vec.dirty_pages
             if not at_risk:
                 continue  # clean nonvolatile: the backend has it
-            if not any(rn in live for rn, _t in info.replicas):
-                return False
+            if any(rn in live for rn, _t in info.replicas):
+                continue
+            # Durable mode: a barrier-committed WAL copy of the
+            # latest shipped bytes makes the crash recoverable even
+            # with no replica — exercising exactly that path is the
+            # point of the durability campaigns.
+            if dur.covers_clean(info.bucket, info.key):
+                continue
+            return False
         return True
 
     def _apply_crash(self, f: Fault):

@@ -67,6 +67,12 @@ class ChaosPlan:
     faults: List[Fault] = field(default_factory=list)
     #: Arm randomized same-timestamp tie-breaking in the simulator.
     perturb: bool = False
+    #: Generation parameters, carried so a replay file rebuilds the
+    #: *same* plan object (not just the same fault list): a campaign
+    #: replayed from disk reruns with the kinds subset and intensity
+    #: of the original, bit for bit.
+    kinds: Tuple[str, ...] = FAULT_KINDS
+    intensity: float = 1.0
 
     # -- generation ------------------------------------------------------
     @classmethod
@@ -137,7 +143,8 @@ class ChaosPlan:
                     param=rng.randrange(1 << 16)))
         faults.sort(key=lambda f: (f.time, f.kind))
         return cls(seed=seed, n_nodes=n_nodes, horizon=horizon,
-                   faults=faults, perturb=perturb)
+                   faults=faults, perturb=perturb,
+                   kinds=tuple(kinds), intensity=float(intensity))
 
     # -- shrinking -------------------------------------------------------
     def subset(self, indices: Sequence[int]) -> "ChaosPlan":
@@ -154,6 +161,8 @@ class ChaosPlan:
             "n_nodes": self.n_nodes,
             "horizon": self.horizon,
             "perturb": self.perturb,
+            "kinds": list(self.kinds),
+            "intensity": self.intensity,
             "faults": [asdict(f) for f in self.faults],
         }
 
@@ -161,9 +170,13 @@ class ChaosPlan:
     def from_dict(cls, doc: dict) -> "ChaosPlan":
         faults = [Fault(**{**f, "nodes": tuple(f.get("nodes", ()))})
                   for f in doc.get("faults", [])]
+        # Old replay files predate the kinds/intensity fields; default
+        # them to the build() defaults those files were created with.
         return cls(seed=int(doc["seed"]), n_nodes=int(doc["n_nodes"]),
                    horizon=float(doc["horizon"]), faults=faults,
-                   perturb=bool(doc.get("perturb", False)))
+                   perturb=bool(doc.get("perturb", False)),
+                   kinds=tuple(doc.get("kinds", FAULT_KINDS)),
+                   intensity=float(doc.get("intensity", 1.0)))
 
     def to_json(self, path: Optional[str] = None) -> str:
         text = json.dumps(self.to_dict(), indent=2, sort_keys=True)

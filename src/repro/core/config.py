@@ -100,6 +100,15 @@ class MegaMmapConfig:
     #: Verify per-page CRC32 checksums on full-page reads (§V Memory
     #: Corruption extension); mismatches recover from replica/backend.
     integrity_checks: bool = False
+    #: Durable scache mode: host a write-ahead intent log on each
+    #: node's fastest durable tier, commit it at transaction barriers
+    #: (``Vector.flush``), and replay it on crash+restart. Off by
+    #: default — non-durable runs stay bit-for-bit identical.
+    durability: bool = False
+    #: Fold the intent log into a failure-atomic snapshot every this
+    #: many barriers (bounds recovery time: RTO scales with
+    #: ``snapshot + tail-of-log``, not with history).
+    wal_snapshot_every: int = 8
 
     def validated(self) -> "MegaMmapConfig":
         if self.page_size <= 0:
@@ -118,6 +127,9 @@ class MegaMmapConfig:
         if self.scale_down_periods < 1:
             raise ValueError(f"scale_down_periods must be at least 1, "
                              f"got {self.scale_down_periods}")
+        if self.wal_snapshot_every < 1:
+            raise ValueError(f"wal_snapshot_every must be at least 1, "
+                             f"got {self.wal_snapshot_every}")
         return self
 
     @classmethod

@@ -138,6 +138,12 @@ class ReliabilityManager:
         self.failed_nodes.add(node)
         lost = 0
         hermes = self.system.hermes
+        # The node's DRAM dies with it: uncommitted write-ahead-log
+        # intents and the local metadata cache are gone. Committed log
+        # records live on the durable medium and survive the blob wipe
+        # below (they are reservations, not blobs).
+        self.system.durability.on_fail_node(node)
+        hermes.mdm.drop_caches(node)
         for dmsh in [self.system.dmshs[node]]:
             for dev in dmsh:
                 for key in list(dev.keys()):
@@ -154,15 +160,25 @@ class ReliabilityManager:
                     info.node = -1  # data gone (unless on the backend)
         return lost
 
-    def restore_node(self, node: int) -> None:
-        """Bring a crashed node back (empty — its blobs stayed lost).
+    def restore_node(self, node: int):
+        """Bring a crashed node back.
 
-        New placements may target it again; the repair loop and lazy
-        re-replication repopulate it over time. The chaos engine's
-        crash/restart fault pairs use this.
+        Without durability the node comes back empty (its blobs stayed
+        lost); new placements may target it again and the repair loop
+        repopulates replicas over time. With durability enabled the
+        restart additionally spawns the WAL recovery process, which
+        replays the node's log to the last committed barrier and
+        re-registers the pages with the MDM. Returns the recovery
+        process (join it for the recovery-complete instant, e.g. to
+        measure RTO) or None when there is nothing to replay.
         """
         self.failed_nodes.discard(node)
         self.system.monitor.count("reliability.restarts")
+        dur = self.system.durability
+        if dur.enabled:
+            return self.system.sim.process(
+                dur.recover_node(node), name=f"wal-recover{node}")
+        return None
 
     # -- recovery ---------------------------------------------------------------------
     def recover_page(self, vec, page_idx: int, client_node: int):
@@ -219,6 +235,34 @@ class ReliabilityManager:
                                              page_idx)
                 except BlobNotFound:
                     pass
+            # Durable fallback: a barrier-committed copy in a node's
+            # write-ahead log survives crashes that took every
+            # in-memory copy. Only taken when the committed copy IS
+            # the latest shipped version (`covers_clean`) — recovering
+            # older committed bytes while a newer intent is staged
+            # would be a silent rollback with no crash to excuse it.
+            dur = self.system.durability
+            if dur.covers_clean(vec.name, page_idx):
+                wal_node, raw, crc = dur.lookup(vec.name, page_idx)
+                if zlib.crc32(raw) == crc:
+                    wal_dev = dur.wals[wal_node].device
+                    yield from wal_dev.charge(len(raw), write=False)
+                    yield from self.system.network.transfer(
+                        wal_node, client_node, len(raw))
+                    target = vec.owner_node(page_idx, client_node)
+                    if target in self.failed_nodes:
+                        target = client_node
+                    yield from hermes.put(client_node, vec.name,
+                                          page_idx, raw,
+                                          target_node=target)
+                    self.record(vec.name, page_idx, raw)
+                    monitor.count("durability.wal_reads")
+                    sp["reason"] = "wal_replay"
+                    monitor.metrics.counter(
+                        "reliability_repairs",
+                        reason="wal_replay").inc()
+                    return raw
+                monitor.count("durability.crc_failures")
             if vec.volatile or page_idx in vec.dirty_pages:
                 sp["reason"] = "lost"
                 raise NodeFailedError(

@@ -163,7 +163,10 @@ class ScacheExecutor:
             self.node_id, vec.name, dict.fromkeys(pages))
         for p, info in lookup.items():
             want = vec.page_nbytes(p)
-            if info is not None:
+            if info is not None and self._extent_restageable(vec, p,
+                                                             info):
+                missing.append(p)
+            elif info is not None:
                 if info.nbytes < want:
                     raw = yield from self._get_page(vec, p,
                                                     self.node_id)
@@ -193,10 +196,22 @@ class ScacheExecutor:
                     self.node_id, vec.name, group)
                 for p in group:
                     info = relook[p]
-                    if info is not None:
-                        infos[p] = info
-                    else:
+                    if info is None:
                         todo.append(p)
+                    elif self._extent_restageable(vec, p, info):
+                        # A crash mid-batch left a dead placement in
+                        # this extent. Drop the stale entry so the
+                        # extent's stage-in (which skips pages with
+                        # live metadata) rebuilds it alongside its
+                        # missing neighbours — without this the batch
+                        # hands back a partially-restaged extent.
+                        yield from hermes.delete(self.node_id,
+                                                 vec.name, p)
+                        self.system.monitor.count(
+                            "reliability.extent_restages")
+                        todo.append(p)
+                    else:
+                        infos[p] = info
                 if not todo:
                     continue
                 with self.system.tracer.span(
@@ -235,6 +250,18 @@ class ScacheExecutor:
                     infos[p] = yield from hermes.mdm.try_get(
                         self.node_id, vec.name, p)
         return infos
+
+    def _extent_restageable(self, vec: SharedVector, page_idx: int,
+                            info) -> bool:
+        """A dead placement (crashed primary, no surviving replica)
+        that is safe to rebuild from the persistent backend with the
+        extent's shared stage-in. Volatile or dirty pages are excluded:
+        their only copy is gone and :meth:`ReliabilityManager.
+        recover_page` must report the loss, not mask it."""
+        rel = self.system.reliability
+        dead = info.node < 0 or info.node in rel.failed_nodes
+        return (dead and not info.replicas and not vec.volatile
+                and page_idx not in vec.dirty_pages)
 
     # -- reads ----------------------------------------------------------------
     def _get_page(self, vec: SharedVector, page_idx: int,
@@ -365,7 +392,29 @@ class ScacheExecutor:
             return results
         pages = list(dict.fromkeys(
             batch.tasks[i].page_idx for i in bulk))
-        yield from self.ensure_pages(vec, pages, batch.client_node)
+        infos = yield from self.ensure_pages(vec, pages,
+                                             batch.client_node)
+        # A fault racing the shared stage-in (fail_node mid-batch) can
+        # hand back a partially-restaged extent: some pages resolved to
+        # live placements, others to dead or missing entries. The bulk
+        # fetch must not see the unhealthy ones — route them through
+        # the per-task path (replica failover / backend restage), which
+        # re-checks residency page by page.
+        healthy = []
+        for i in bulk:
+            task = batch.tasks[i]
+            info = infos.get(task.page_idx)
+            if info is None or info.node < 0 \
+                    or info.node in rel.failed_nodes:
+                self.system.monitor.count("reliability.read_failovers")
+                results[i] = yield from self._read(vec, task)
+            else:
+                healthy.append(i)
+        bulk = healthy
+        if not bulk:
+            return results
+        pages = list(dict.fromkeys(
+            batch.tasks[i].page_idx for i in bulk))
         try:
             raws = yield from hermes.get_many(batch.client_node,
                                               vec.name, pages)
@@ -434,13 +483,20 @@ class ScacheExecutor:
         self.system.monitor.count("scache.writes")
         self._m_writes.inc()
         rel = self.system.reliability
-        if self.system.config.integrity_checks or rel.enabled:
+        dur = self.system.durability
+        if dur.enabled or self.system.config.integrity_checks \
+                or rel.enabled:
             info = self.system.hermes.mdm.peek(vec.name, task.page_idx)
             if info is not None and info.node >= 0:
                 dev = self.system.dmshs[info.node].tier(info.tier)
                 if (vec.name, task.page_idx) in dev:
-                    rel.record(vec.name, task.page_idx,
-                               dev.peek((vec.name, task.page_idx)))
+                    raw = dev.peek((vec.name, task.page_idx))
+                    if self.system.config.integrity_checks \
+                            or rel.enabled:
+                        rel.record(vec.name, task.page_idx, raw)
+                    # Intent for the next transaction barrier: the
+                    # page's latest bytes on its primary node's log.
+                    dur.stage(vec.name, task.page_idx, info.node, raw)
         if rel.enabled:
             # Durability copies ship asynchronously (off the write's
             # critical path, like the paper's async eviction).

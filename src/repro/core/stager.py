@@ -31,6 +31,7 @@ class DataStager:
         self.sim = system.sim
         self._stop = False
         self._extent_locks = {}
+        self._stageout_locks = {}
 
     # -- timing helper -----------------------------------------------------
     def _charge_backend(self, node: int, nbytes: int, write: bool,
@@ -132,33 +133,55 @@ class DataStager:
         return lock
 
     # -- stage-out -------------------------------------------------------------
+    def _stageout_lock(self, vec: SharedVector, page_idx: int) -> Lock:
+        key = (vec.name, page_idx)
+        lock = self._stageout_locks.get(key)
+        if lock is None:
+            lock = self._stageout_locks[key] = Lock(self.sim)
+        return lock
+
     def stage_out(self, vec: SharedVector, page_idx: int, node: int):
-        """Persist one scache page to the backend. Generator."""
+        """Persist one scache page to the backend. Generator.
+
+        Stage-outs of the same page are serialized, and the dirty bit
+        is claimed *before* the page bytes are captured: a write that
+        lands after the snapshot re-dirties the page and a later pass
+        persists the fresh bytes. (Clearing the bit on completion
+        instead would wipe that re-dirty mark — the write's bytes
+        would never reach the backend — and two unserialized
+        stage-outs could also complete out of order, leaving the stale
+        snapshot as the file's final content.)
+        """
         if vec.volatile:
             vec.dirty_pages.discard(page_idx)
             return
+        lock = self._stageout_lock(vec, page_idx)
+        yield lock.acquire()
         try:
-            raw = yield from self.system.hermes.get(
-                node, vec.name, page_idx)
-        except BlobNotFound:
             vec.dirty_pages.discard(page_idx)
-            return
-        backend = vec.ensure_backend()
-        start = page_idx * vec.page_size
-        backend.ensure_size(start + len(raw))
-        with self.system.tracer.span("stage_out", "stager", node=node,
-                                     vector=vec.name, page=page_idx,
-                                     nbytes=len(raw)):
-            yield from self._charge_backend(node, len(raw), write=True)
-        backend.write_range(start, raw)
-        vec.dirty_pages.discard(page_idx)
-        # Persisted pages are cold: zero the score so the organizer /
-        # placement demotes them aggressively to make room for new
-        # data (paper IV-B3).
-        self.system.hermes.set_score(vec.name, page_idx, 0.0)
-        self.system.monitor.count("stager.bytes_out", len(raw))
-        self.system.monitor.metrics.counter(
-            "stager_bytes", node=node, direction="out").inc(len(raw))
+            try:
+                raw = yield from self.system.hermes.get(
+                    node, vec.name, page_idx)
+            except BlobNotFound:
+                return
+            backend = vec.ensure_backend()
+            start = page_idx * vec.page_size
+            backend.ensure_size(start + len(raw))
+            with self.system.tracer.span(
+                    "stage_out", "stager", node=node, vector=vec.name,
+                    page=page_idx, nbytes=len(raw)):
+                yield from self._charge_backend(node, len(raw),
+                                                write=True)
+            backend.write_range(start, raw)
+            # Persisted pages are cold: zero the score so the
+            # organizer / placement demotes them aggressively to make
+            # room for new data (paper IV-B3).
+            self.system.hermes.set_score(vec.name, page_idx, 0.0)
+            self.system.monitor.count("stager.bytes_out", len(raw))
+            self.system.monitor.metrics.counter(
+                "stager_bytes", node=node, direction="out").inc(len(raw))
+        finally:
+            lock.release()
 
     def persist(self, vec: SharedVector, node: int):
         """Flush every dirty page of ``vec`` (explicit msync / vector

@@ -61,6 +61,8 @@ class MegaMmapSystem:
         self._collective: Dict = {}
         self.organizer = DataOrganizer(self)
         self.stager = DataStager(self)
+        from repro.core.durability import DurabilityManager
+        self.durability = DurabilityManager(self)
         from repro.core.reliability import ReliabilityManager
         self.reliability = ReliabilityManager(self)
         if self.reliability.enabled:

@@ -817,8 +817,14 @@ class Vector:
             # One batched submission per owner node (degrades to
             # per-task submits when batching is disabled).
             yield from self.client.submit_batch(tasks, wait=False)
-        if wait:
+        dur = self.client.system.durability
+        if wait or dur.enabled:
             yield from self.client.drain()
+        if dur.enabled:
+            # The flush is the transaction barrier: the bytes it
+            # promotes to globally-visible become durable here, before
+            # the commit point is recorded.
+            yield from dur.commit_barrier()
         if h is not None:
             # Commit point: everything this client has shipped so far
             # (including earlier async evictions) is ordered ahead of

@@ -213,6 +213,46 @@ class Hermes:
                 "hermes_puts", node=node, tier=dev.spec.kind).inc()
         return info
 
+    def restore_blob(self, node: int, bucket: str, key, data,
+                     score: float = 0.5):
+        """Crash-recovery re-registration of a replayed blob.
+
+        Generator; returns True when ``data`` was installed and the
+        MDM entry re-registered, False when a *live* copy already
+        exists (replica promotion beat us, or a concurrent
+        ``recover_page`` / second recovery pass already restored it) —
+        the idempotence that makes crash-during-recovery safe. The
+        liveness re-check runs under the per-blob lock so recovery
+        never clobbers a write that landed after the restart.
+        """
+        data = _as_payload(data)
+        lock = self._lock(bucket, key)
+        yield lock.acquire()
+        try:
+            info = yield from self.mdm.try_get(node, bucket, key)
+            if info is not None and info.node >= 0:
+                dev = self._device(info.node, info.tier)
+                if (bucket, key) in dev:
+                    return False  # a live copy exists; keep it
+            if info is not None:
+                # Dead entry (primary lost with no promoted replica):
+                # clear it and any stale copies before re-placing.
+                yield from self.mdm.delete(node, bucket, key)
+                yield from self._drop_all_copies(info)
+            dev = yield from self._put_with_retry(node, (bucket, key),
+                                                  data, score)
+            info = BlobInfo(bucket=bucket, key=key, node=node,
+                            tier=dev.spec.kind, nbytes=len(data),
+                            score=score)
+            yield from self.mdm.put(node, info)
+        finally:
+            lock.release()
+        if self.monitor is not None:
+            self.monitor.count("hermes.restores")
+            self.monitor.metrics.counter(
+                "hermes_restores", node=node, tier=dev.spec.kind).inc()
+        return True
+
     def put_many(self, client_node: int, bucket: str, items,
                  score: float = 1.0):
         """Vectored whole-blob store (the batched write path's data

@@ -170,6 +170,13 @@ class MetadataManager:
         except KeyError:
             raise BlobNotFound((bucket, key)) from None
 
+    def drop_caches(self, node: int) -> None:
+        """Forget one node's metadata cache. A crashed node loses its
+        in-memory cache with everything else; the recovery path calls
+        this so the restarted node re-resolves entries through the
+        owner shards instead of trusting pre-crash pointers."""
+        self._caches[node].clear()
+
     def peek(self, bucket: str, key: object) -> Optional[BlobInfo]:
         """Untimed lookup (tests/verification only)."""
         owner = self.owner_of(bucket, key)

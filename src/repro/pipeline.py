@@ -47,7 +47,8 @@ from repro.apps.datagen import write_gadget_like, write_parquet_points
 from repro.cluster import SimCluster
 from repro.core.config import MegaMmapConfig
 from repro.core.errors import MegaMmapError
-from repro.storage.tiers import DRAM, HDD, MB, NVME, SATA_SSD, scaled
+from repro.storage.tiers import (DRAM, HDD, MB, NVME, PMEM, SATA_SSD,
+                                 scaled)
 from repro.core.config import load_yaml_subset
 
 
@@ -153,14 +154,16 @@ APP_REGISTRY: Dict[str, Callable] = {
 
 #: cluster-section keys consumed by the builder (everything else goes
 #: to MegaMmapConfig).
-_CLUSTER_KEYS = {"n_nodes", "procs_per_node", "dram_mb", "nvme_mb",
-                 "ssd_mb", "hdd_mb", "pfs_servers", "seed"}
+_CLUSTER_KEYS = {"n_nodes", "procs_per_node", "dram_mb", "pmem_mb",
+                 "nvme_mb", "ssd_mb", "hdd_mb", "pfs_servers", "seed"}
 
 
 def build_cluster(section: Dict[str, Any]) -> SimCluster:
     """Construct a SimCluster from a pipeline's ``cluster`` section."""
     section = dict(section or {})
     tiers = [scaled(DRAM, int(section.get("dram_mb", 48)) * MB)]
+    if section.get("pmem_mb", 0):
+        tiers.append(scaled(PMEM, int(section["pmem_mb"]) * MB))
     if section.get("nvme_mb", 128):
         tiers.append(scaled(NVME, int(section.get("nvme_mb", 128)) * MB))
     if section.get("ssd_mb", 0):

@@ -16,10 +16,12 @@ from repro.storage.tiers import (
     DRAM,
     HDD,
     NVME,
+    PMEM,
     SATA_SSD,
     TIER_PRESETS,
     scaled,
 )
+from repro.storage.wal import WalRecord, WalSnapshot, WriteAheadLog
 from repro.storage.backend import (
     Backend,
     BackendError,
@@ -39,9 +41,13 @@ __all__ = [
     "DeviceSpec",
     "HDD",
     "NVME",
+    "PMEM",
     "ParsedUrl",
     "SATA_SSD",
     "TIER_PRESETS",
+    "WalRecord",
+    "WalSnapshot",
+    "WriteAheadLog",
     "open_backend",
     "parse_url",
     "scaled",

@@ -42,6 +42,10 @@ class DeviceSpec:
     byte_addressable:
         True for DRAM/CXL (no block granularity penalty is modelled
         either way; the flag informs placement policies).
+    durable:
+        True for media whose contents survive a node crash (PMEM,
+        NVMe, SSD, HDD). The durability subsystem hosts its
+        write-ahead intent log on the node's fastest durable tier.
     """
 
     kind: str
@@ -51,12 +55,13 @@ class DeviceSpec:
     latency: float
     cost_per_gb: float = 0.0
     byte_addressable: bool = False
+    durable: bool = False
 
     def with_capacity(self, capacity: int) -> "DeviceSpec":
         """Copy of this spec with a different capacity."""
         return DeviceSpec(self.kind, int(capacity), self.read_bw,
                           self.write_bw, self.latency, self.cost_per_gb,
-                          self.byte_addressable)
+                          self.byte_addressable, self.durable)
 
     def xfer_time(self, nbytes: int, write: bool) -> float:
         bw = self.write_bw if write else self.read_bw

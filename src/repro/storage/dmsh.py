@@ -85,6 +85,15 @@ class DMSH:
         i = self.tiers.index(dev)
         return self.tiers[i + 1] if i + 1 < len(self.tiers) else None
 
+    def fastest_durable(self) -> Optional[Device]:
+        """Fastest tier whose medium survives a node crash (PMEM
+        before NVMe before SSD...), or None on an all-volatile node.
+        The durability subsystem hosts its write-ahead log here."""
+        for dev in self.tiers:
+            if dev.spec.durable:
+                return dev
+        return None
+
     # -- accounting -------------------------------------------------------
     @property
     def total_capacity(self) -> int:
@@ -100,7 +109,8 @@ class DMSH:
 
     def describe(self) -> str:
         """Fig. 7-style label, e.g. ``48D-16N-32S`` (sizes in MB or GB)."""
-        letter = {"dram": "D", "cxl": "C", "nvme": "N", "ssd": "S", "hdd": "H"}
+        letter = {"dram": "D", "cxl": "C", "pmem": "P", "nvme": "N",
+                  "ssd": "S", "hdd": "H"}
         parts = []
         for dev in self.tiers:
             cap = dev.capacity

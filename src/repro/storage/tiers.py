@@ -29,20 +29,30 @@ DRAM = DeviceSpec(kind="dram", capacity=48 * GB, read_bw=12e9, write_bw=12e9,
 CXL = DeviceSpec(kind="cxl", capacity=64 * GB, read_bw=8e9, write_bw=8e9,
                  latency=4e-7, cost_per_gb=2.0, byte_addressable=True)
 
+#: Persistent memory (Optane-DC-class, the paper's PMEM-adjacent tier
+#: and Fridman et al.'s checkpoint medium): byte-addressable like
+#: DRAM, asymmetric ~6.6/2.3 GB/s bandwidth, ~300 ns access, and
+#: *durable* — the tier the write-ahead intent log lives on.
+PMEM = DeviceSpec(kind="pmem", capacity=128 * GB, read_bw=6.6e9,
+                  write_bw=2.3e9, latency=3e-7, cost_per_gb=1.0,
+                  byte_addressable=True, durable=True)
+
 #: Node-local NVMe over SPDK: ~3.2/2.0 GB/s, ~20 µs.
 NVME = DeviceSpec(kind="nvme", capacity=128 * GB, read_bw=3.2e9, write_bw=2.0e9,
-                  latency=2e-5, cost_per_gb=0.08)
+                  latency=2e-5, cost_per_gb=0.08, durable=True)
 
 #: SATA SSD: ~500/450 MB/s, ~80 µs.
 SATA_SSD = DeviceSpec(kind="ssd", capacity=256 * GB, read_bw=5.0e8,
-                      write_bw=4.5e8, latency=8e-5, cost_per_gb=0.04)
+                      write_bw=4.5e8, latency=8e-5, cost_per_gb=0.04,
+                      durable=True)
 
 #: HDD: ~7x slower than the SATA SSD (inside the paper's 6-10x band),
 #: 5 ms seek.
 HDD = DeviceSpec(kind="hdd", capacity=1 * TB, read_bw=7.2e7, write_bw=7.2e7,
-                 latency=5e-3, cost_per_gb=0.02)
+                 latency=5e-3, cost_per_gb=0.02, durable=True)
 
-TIER_PRESETS = {spec.kind: spec for spec in (DRAM, CXL, NVME, SATA_SSD, HDD)}
+TIER_PRESETS = {spec.kind: spec
+                for spec in (DRAM, CXL, PMEM, NVME, SATA_SSD, HDD)}
 
 
 def scaled(spec: DeviceSpec, capacity: int) -> DeviceSpec:

@@ -72,7 +72,9 @@ def test_acceptance_campaign_25_seeds_crash_partition_corrupt(
         tmp_path):
     """ISSUE acceptance: >= 25 seeded campaigns over the 2-node KMeans
     pipeline pass the coherence checker with crashes, partitions, and
-    corruption enabled."""
+    corruption enabled. The pipeline declares ``durability: true``, so
+    these seeds additionally run under the committed-barrier clause
+    (no crash excuse for flushed bytes)."""
     results = run_campaign(PIPELINE, range(25),
                            kinds=("crash", "partition", "corrupt"),
                            workdir=str(tmp_path))
@@ -81,6 +83,43 @@ def test_acceptance_campaign_25_seeds_crash_partition_corrupt(
     assert all(r.checked_reads > 0 for r in results)
     # The campaign genuinely injected faults, not just clean runs.
     assert sum(r.faults_applied for r in results) > 25
+
+
+SMALL_KMEANS_DURABLE = SMALL_KMEANS.replace(
+    "  integrity_checks: true",
+    "  integrity_checks: true\n"
+    "  pmem_mb: 32\n"
+    "  durability: true\n"
+    "  wal_snapshot_every: 4")
+
+
+def test_durability_campaign_crash_seeds(tmp_path):
+    """Crash-kind seeds against the durable deployment: the checker
+    runs with the durability clause (crash rewinds of committed bytes
+    are NOT excused), so a recovery bug would surface as a
+    violation."""
+    results = run_campaign(SMALL_KMEANS_DURABLE, range(6),
+                           kinds=("crash",), workdir=str(tmp_path))
+    bad = [r.summary() for r in results if not r.ok]
+    assert not bad, bad
+    assert all(r.checked_reads > 0 for r in results)
+    assert sum(r.faults_applied for r in results) > 0
+
+
+def test_cli_durability_flag(tmp_path, capsys):
+    from repro.__main__ import main
+    wd = str(tmp_path)
+    rc = main(["chaos", PIPELINE, "--durability", "--seeds", "2",
+               "--workdir", wd])
+    assert rc == 0
+    assert "campaign: 2/2 seeds clean" in capsys.readouterr().out
+    # A pipeline without durable mode is rejected up front.
+    plain = tmp_path / "plain.yaml"
+    plain.write_text(SMALL_KMEANS)
+    rc = main(["chaos", str(plain), "--durability", "--seeds", "1",
+               "--workdir", wd])
+    assert rc == 2
+    assert "durability: true" in capsys.readouterr().err
 
 
 def test_shrinker_converges_on_known_two_fault_repro():

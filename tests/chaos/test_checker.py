@@ -17,8 +17,9 @@ PAGE = 4096
 N = PAGE  # one page of uint8
 
 
-def _install(system, raw_check=True):
-    checker = CoherenceChecker(raw_check=raw_check)
+def _install(system, raw_check=True, durability=False):
+    checker = CoherenceChecker(raw_check=raw_check,
+                               durability=durability)
     system.history = HistoryRecorder(system, checker)
     return checker
 
@@ -178,6 +179,89 @@ def test_correct_run_of_the_same_workload_is_clean():
     out, = run_procs(sim, app())
     assert np.array_equal(out, v2)
     checker.finalize(system)
+    assert checker.violations == []
+
+
+def _two_version_setup(durability=False):
+    """Model state stable=v2 / prev=v1 plus a second-rank reader
+    handle whose freshness horizon postdates the barrier, so reading
+    v1 is only legal with a crash excuse. Returns
+    (checker, model, reader_vec, v1, v2, t_promote)."""
+    sim, system = build_system()
+    checker = _install(system, durability=durability)
+    c0 = system.client(rank=0, node=0)
+    c1 = system.client(rank=1, node=1)
+    v1 = np.full(N, 3, np.uint8)
+    v2 = np.full(N, 9, np.uint8)
+    holder = {}
+
+    def writer():
+        vec = yield from c0.vector("d", dtype=np.uint8, size=N)
+        for data in (v1, v2):
+            yield from vec.tx_begin(SeqTx(0, N, MM_WRITE_ONLY))
+            yield from vec.write_range(0, data)
+            yield from vec.tx_end()
+            yield from vec.flush(wait=True)
+
+    def reader_handle():
+        holder["vec"] = yield from c1.vector("d", dtype=np.uint8)
+
+    run_procs(sim, writer())
+    run_procs(sim, reader_handle())
+    m = checker.models["d"]
+    assert np.array_equal(m.stable, v2)
+    assert np.array_equal(m.prev, v1)
+    tp = float(m.promote_t[0])
+    # Rank 1 invalidated after the barrier: a stale v1 read needs the
+    # crash-rewind excuse, not the bounded-staleness one.
+    checker.on_invalidate(holder["vec"], tp + 1e-6)
+    return checker, m, holder["vec"], v1, v2, tp
+
+
+def test_crash_at_exact_barrier_instant_does_not_rebase():
+    """A crash landing at exactly t == the barrier-commit instant is
+    ordered with the commit: the committed bytes must survive, so a
+    pre-barrier read is a violation and the model is not rebased."""
+    checker, m, vec, v1, v2, tp = _two_version_setup()
+    checker.on_crash(0, tp)
+    checker.on_read(vec, 0, v1, tp + 1e-3, tp + 2e-3)
+    assert any(v["check"] == "stale_or_lost_read"
+               for v in checker.violations)
+    assert np.array_equal(m.stable, v2), "committed writes rebased"
+
+
+def test_crash_strictly_after_barrier_excuses_rewind_and_rebases():
+    checker, m, vec, v1, _v2, tp = _two_version_setup()
+    checker.on_crash(0, tp + 1e-4)
+    checker.on_read(vec, 0, v1, tp + 1e-3, tp + 2e-3)
+    assert checker.violations == []
+    # The system settled on the older version; the model follows.
+    assert np.array_equal(m.stable, v1)
+
+
+def test_crash_landing_mid_read_excuses_the_rewind():
+    """The crash eligibility window is the read's *completion*, not
+    its start: a failover triggered while the fetch was in flight can
+    legitimately serve the pre-crash replicated version."""
+    checker, m, vec, v1, _v2, tp = _two_version_setup()
+    t0, now = tp + 1e-4, tp + 1e-3
+    checker.on_crash(0, tp + 5e-4)  # t0 < crash < now
+    checker.on_read(vec, 0, v1, t0, now)
+    assert checker.violations == []
+
+
+def test_durability_clause_rejects_crash_rewind_of_committed_bytes():
+    """Durable mode: bytes promoted at a committed barrier must be
+    readable after crash+restart — the crash excuse is off entirely."""
+    checker, m, vec, v1, v2, tp = _two_version_setup(durability=True)
+    checker.on_crash(0, tp + 1e-4)
+    checker.on_read(vec, 0, v1, tp + 1e-3, tp + 2e-3)
+    assert any(v["check"] == "stale_or_lost_read"
+               for v in checker.violations)
+    assert np.array_equal(m.stable, v2)
+    # Reading the committed version itself stays legal, of course.
+    checker.violations.clear()
+    checker.on_read(vec, 0, v2, tp + 3e-3, tp + 4e-3)
     assert checker.violations == []
 
 

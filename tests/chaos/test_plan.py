@@ -66,6 +66,45 @@ def test_json_roundtrip_via_text_and_path(tmp_path):
     assert all(isinstance(f.nodes, tuple) for f in back.faults)
 
 
+def test_roundtrip_keeps_nondefault_kinds_and_intensity(tmp_path):
+    """Replaying a campaign that ran with a kinds subset and a scaled
+    intensity must rebuild the *same* plan object — the regression was
+    to_dict() dropping both fields, so a replayed plan compared (and
+    rebuilt) as if run with the defaults."""
+    plan = ChaosPlan.build(13, n_nodes=4, horizon=3.0,
+                           kinds=("crash", "stall"), intensity=2.5)
+    back = ChaosPlan.from_json(plan.to_json())
+    assert back == plan
+    assert back.kinds == ("crash", "stall")
+    assert back.intensity == 2.5
+    path = tmp_path / "replay.json"
+    plan.to_json(str(path))
+    assert ChaosPlan.from_json(str(path)) == plan
+    # Rebuilding from the carried parameters reproduces the schedule.
+    rebuilt = ChaosPlan.build(back.seed, n_nodes=back.n_nodes,
+                              horizon=back.horizon, kinds=back.kinds,
+                              intensity=back.intensity,
+                              perturb=back.perturb)
+    assert rebuilt == plan
+
+
+def test_from_dict_defaults_legacy_files_without_new_fields():
+    plan = ChaosPlan.build(11, n_nodes=3, horizon=4.0)
+    doc = plan.to_dict()
+    del doc["kinds"], doc["intensity"]
+    back = ChaosPlan.from_dict(doc)
+    assert back.kinds == FAULT_KINDS
+    assert back.intensity == 1.0
+    assert back.faults == plan.faults
+
+
+def test_subset_carries_generation_parameters():
+    plan = ChaosPlan.build(9, n_nodes=4, horizon=5.0, intensity=2.0)
+    sub = plan.subset([0])
+    assert sub.kinds == plan.kinds
+    assert sub.intensity == plan.intensity
+
+
 def test_intensity_scales_fault_count():
     lo = ChaosPlan.build(5, n_nodes=4, horizon=2.0, intensity=0.0)
     hi = ChaosPlan.build(5, n_nodes=4, horizon=2.0, intensity=4.0)

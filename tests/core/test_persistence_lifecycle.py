@@ -134,3 +134,67 @@ def test_destroy_drop_discards_everything(tmp_path):
     assert url.split("//")[1] not in system.vectors
     on_disk = np.fromfile(tmp_path / "drop.bin", dtype=np.int32)
     assert not np.any(on_disk == 1)
+
+
+def test_stage_out_never_loses_a_concurrent_write(tmp_path):
+    """Regression (flushed out by a placement-dependent chaos flake):
+    a write landing between stage_out's page snapshot and its backend
+    write used to be lost twice over — the stale snapshot became the
+    file's content AND the completion-time dirty-bit clear wiped the
+    write's re-dirty mark, so the termination flush skipped the page.
+    The claim-before-capture protocol keeps the re-dirty mark alive."""
+    from repro.core.memtask import MemoryTask, TaskKind
+    from repro.sim import AllOf, Lock
+
+    url = f"posix://{tmp_path}/race.bin"
+    sim, system = build_system(flush_period=1e9)
+    c = system.client(rank=0, node=0)
+    v1 = np.arange(1024, dtype=np.int32)          # exactly one page
+    v2 = (v1 + 7777).astype(np.int32)
+
+    def writer():
+        vec = yield from c.vector(url, dtype=np.int32, size=1024)
+        yield from vec.tx_begin(SeqTx(0, 1024, MM_WRITE_ONLY))
+        yield from vec.write_range(0, v1)
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)           # scache yes, backend no
+
+    run_procs(sim, writer())
+    svec = system.vectors[url]
+    assert 0 in svec.dirty_pages
+
+    # Gate the backend charge so the stage-out parks *after* it
+    # snapshotted the page but *before* the file write.
+    gate = Lock(sim)
+    run_procs(sim, gate.held())                   # pre-held by the test
+    orig = system.stager._charge_backend
+
+    def gated_charge(node, nbytes, write, offset=0):
+        yield gate.acquire()
+        gate.release()
+        yield from orig(node, nbytes, write, offset=offset)
+
+    system.stager._charge_backend = gated_charge
+    so = sim.process(system.stager.stage_out(svec, 0, 0), name="so")
+    sim.run(until=sim.now + 1e-3)                 # park at the gate
+    assert not (tmp_path / "race.bin").exists() \
+        or not np.array_equal(np.fromfile(tmp_path / "race.bin",
+                                          dtype=np.int32), v1)
+
+    # The overlapping write: lands in the scache while the stale
+    # snapshot is still waiting on the backend.
+    def overlap():
+        task = MemoryTask(kind=TaskKind.WRITE, vector_name=svec.name,
+                          page_idx=0, client_node=0,
+                          fragments=[(0, v2.tobytes())])
+        yield from c.submit(task, wait=True)
+
+    run_procs(sim, overlap())
+    gate.release()                                # let the stale write land
+    sim.run(until=AllOf(sim, [so]))
+    # The write's dirty mark must have survived the stale stage-out...
+    assert 0 in svec.dirty_pages
+    # ...so runtime termination persists the fresh bytes.
+    sim.run(until=sim.process(system.shutdown(), name="shutdown"))
+    on_disk = np.fromfile(tmp_path / "race.bin", dtype=np.int32)
+    assert np.array_equal(on_disk, v2)

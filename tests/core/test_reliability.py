@@ -200,6 +200,92 @@ def test_recover_page_restages_when_every_replica_node_failed(
     assert restaged.value > 0
 
 
+def test_ensure_pages_restages_dead_extent_in_one_round(tmp_path):
+    """Batched stage-in over an extent whose placements died: the old
+    batch path kept the dead metadata entries and handed back a
+    partially-restaged extent (callers then tripped over each page one
+    by one). ensure_pages must rebuild the dead pages alongside the
+    missing ones with the extent's single backend read."""
+    sim, system = build_system(n_nodes=2)
+    c0 = system.client(rank=0, node=0)
+    url = f"posix://{tmp_path}/e.bin"
+    data = np.arange(2 * N, dtype=np.int32)  # 8 pages of 4 KiB
+
+    def writer():
+        vec = yield from c0.vector(url, dtype=np.int32, size=2 * N)
+        yield from vec.tx_begin(SeqTx(0, 2 * N, MM_WRITE_ONLY))
+        yield from vec.write_range(0, data)
+        yield from vec.tx_end()
+        yield from vec.persist()
+
+    run_procs(sim, writer())
+    shared = system.vectors[url]
+    pages = list(range(shared.n_pages))
+    for n in {i.node for i in system.hermes.mdm.list_bucket(url)}:
+        system.reliability.fail_node(n)
+    dead = [p for p in pages
+            if system.hermes.mdm.peek(url, p).node < 0]
+    assert dead, "fail_node should leave dead entries"
+
+    def probe():
+        ex = system.runtimes[0].executor
+        return (yield from ex.ensure_pages(shared, pages, 0))
+
+    infos, = run_procs(sim, probe())
+    assert set(infos) == set(pages)
+    for p in pages:
+        assert infos[p] is not None, f"page {p} left unresolved"
+        assert infos[p].node >= 0, f"page {p} still dead"
+    assert system.monitor.counter("reliability.extent_restages") > 0
+    out, = run_procs(sim, _read(system.client(1, 1), url)())
+    assert np.array_equal(out[:N], data[:N])
+
+
+def test_fail_node_mid_batch_without_replication_restages(tmp_path):
+    """fail_node landing mid-batch on an unreplicated persisted
+    vector: the batched read loses its source with no replica to
+    promote and must restage from the backend — the partially-restaged
+    extent hole this PR closes."""
+    sim, system = build_system(n_nodes=2)
+    c0 = system.client(rank=0, node=0)
+    url = f"posix://{tmp_path}/m.bin"
+    data = np.arange(2 * N, dtype=np.int32)
+
+    def writer():
+        vec = yield from c0.vector(url, dtype=np.int32, size=2 * N)
+        yield from vec.tx_begin(SeqTx(0, 2 * N, MM_WRITE_ONLY))
+        yield from vec.write_range(0, data)
+        yield from vec.tx_end()
+        yield from vec.persist()
+
+    run_procs(sim, writer())
+    victim = system.hermes.mdm.peek(url, 1).node
+    reader_node = 1 - victim
+    base = system.monitor.counter("hermes.gets")
+
+    def reader():
+        client = system.client(1, reader_node)
+        vec = yield from client.vector(url, dtype=np.int32)
+        yield from vec.tx_begin(SeqTx(0, 2 * N, MM_READ_ONLY))
+        out = yield from vec.read_range(0, 2 * N)
+        yield from vec.tx_end()
+        return out
+
+    def saboteur():
+        # Wait for the vectored fetch to start, then crash the
+        # primary while its pages are still in flight.
+        while system.monitor.counter("hermes.gets") <= base:
+            yield sim.timeout(1e-7)
+        system.reliability.fail_node(victim)
+        return system.sim.now
+
+    out, when = run_procs(sim, reader(), saboteur())
+    assert when > 0.0
+    assert np.array_equal(out, data)
+    assert system.monitor.counter("reliability.restages") > 0 \
+        or system.monitor.counter("reliability.extent_restages") > 0
+
+
 def test_node_failure_during_inflight_batched_read():
     """fail_node racing an in-flight batched read: the vectored fetch
     loses its source mid-batch and must fail over to a replica (the

@@ -1,0 +1,187 @@
+"""Unit tests for the write-ahead intent log (storage/wal.py).
+
+Covers the protocol invariants the durability subsystem leans on: the
+log format accounting, failure-atomic barrier commits, snapshot
+folding + truncation, and — the recovery contract — idempotent replay
+(recovering twice yields the identical image).
+"""
+
+import zlib
+
+import pytest
+
+from repro.sim import AllOf, Simulator
+from repro.storage.device import Device, DeviceFullError
+from repro.storage.tiers import MB, PMEM
+from repro.storage.wal import (
+    COMMIT_MARKER,
+    RECORD_HEADER,
+    SNAPSHOT_HEADER,
+    WriteAheadLog,
+)
+
+
+def _wal(capacity_mb=8, snapshot_every=8):
+    sim = Simulator()
+    dev = Device(sim, PMEM.with_capacity(capacity_mb * MB),
+                 name="node0.pmem")
+    return sim, dev, WriteAheadLog(dev, node_id=0,
+                                   snapshot_every=snapshot_every)
+
+
+def _drive(sim, gen):
+    proc = sim.process(gen, name="drive")
+    return sim.run(until=AllOf(sim, [proc]))[0]
+
+
+def test_stage_is_volatile_until_commit():
+    sim, dev, wal = _wal()
+    wal.stage("v", 0, b"a" * 100)
+    assert wal.lookup("v", 0) is None
+    assert not wal.covers("v", 0)
+    wal.crash()
+    assert wal.staged == {}
+    assert wal.committed_seq == 0
+
+
+def test_commit_barrier_makes_staged_durable():
+    sim, dev, wal = _wal()
+    payload = b"x" * 256
+    wal.stage("v", 0, payload)
+    wal.stage("v", 3, b"y" * 256)
+    _drive(sim, wal.commit_barrier(1))
+    assert wal.staged == {}
+    assert wal.committed_seq == 1
+    data, crc, seq = wal.lookup("v", 0)
+    assert data == payload
+    assert crc == zlib.crc32(payload)
+    assert seq == 1
+    assert wal.covers("v", 0)
+    # Accounting: two records + one commit marker on top of the empty
+    # snapshot header, all reserved on the device.
+    assert wal.log_bytes == 2 * (RECORD_HEADER + 256)
+    assert wal._reserved == SNAPSHOT_HEADER + wal.log_bytes \
+        + COMMIT_MARKER
+    assert dev.used == wal._reserved
+    assert sim.now > 0.0  # the append was a timed device write
+
+
+def test_commit_is_failure_atomic_against_mid_append_crash():
+    # Slow medium: the barrier append takes real simulated time, so we
+    # can stop the clock mid-transfer — the instant a real crash would
+    # tear a non-atomic commit.
+    sim = Simulator()
+    slow = PMEM.with_capacity(MB)
+    slow = type(slow)(slow.kind, slow.capacity, 10.0, 10.0, 0.0,
+                      slow.cost_per_gb, slow.byte_addressable,
+                      slow.durable)
+    dev = Device(sim, slow, name="node0.pmem")
+    wal = WriteAheadLog(dev, node_id=0)
+    wal.stage("v", 0, b"z" * 64)
+    sim.process(wal.commit_barrier(1), name="commit")
+    sim.run(until=1e-3)  # mid-append: charge still in flight
+    wal.crash()
+    assert wal.committed_seq == 0
+    assert wal.lookup("v", 0) is None
+    assert wal.records == []
+
+
+def test_crash_keeps_committed_records():
+    sim, dev, wal = _wal()
+    wal.stage("v", 0, b"committed")
+    _drive(sim, wal.commit_barrier(1))
+    wal.stage("v", 0, b"uncommitted")
+    assert not wal.covers("v", 0)  # newer intent still staged
+    wal.crash()
+    data, _crc, seq = wal.lookup("v", 0)
+    assert data == b"committed"
+    assert seq == 1
+    assert wal.covers("v", 0)
+
+
+def test_later_barrier_wins_lookup_and_replay():
+    sim, dev, wal = _wal()
+    wal.stage("v", 0, b"old")
+    _drive(sim, wal.commit_barrier(1))
+    wal.stage("v", 0, b"new")
+    _drive(sim, wal.commit_barrier(2))
+    assert wal.lookup("v", 0)[0] == b"new"
+    assert wal.replay()[("v", 0)][0] == b"new"
+
+
+def test_snapshot_folds_log_and_truncates():
+    sim, dev, wal = _wal(snapshot_every=2)
+    for barrier in (1, 2):
+        for page in range(4):
+            wal.stage("v", page, bytes([barrier]) * 128)
+        _drive(sim, wal.commit_barrier(barrier))
+    # Barrier 2 hit the cadence: the log was folded into a snapshot.
+    assert wal.records == []
+    assert wal.snapshot.seq == 2
+    assert len(wal.snapshot.pages) == 4
+    data, crc, seq = wal.lookup("v", 1)
+    assert data == bytes([2]) * 128
+    assert seq == 2
+    # Accounting collapsed to exactly the snapshot image.
+    assert wal._reserved == wal.snapshot.nbytes
+    assert dev.used == wal._reserved
+    assert wal.durable_bytes == wal.snapshot.nbytes
+
+
+def test_replay_is_idempotent_and_pure():
+    sim, dev, wal = _wal(snapshot_every=3)
+    for barrier in range(1, 5):
+        wal.stage("v", barrier % 2, bytes([barrier]) * 64)
+        _drive(sim, wal.commit_barrier(barrier))
+    first = wal.replay()
+    second = wal.replay()
+    assert first == second
+    # Replay never mutates the log: accounting and state unchanged.
+    assert wal.committed_seq == 4
+    assert first[("v", 0)][0] == bytes([4]) * 64
+    assert first[("v", 1)][0] == bytes([3]) * 64
+    for data, crc, _seq in first.values():
+        assert zlib.crc32(data) == crc
+
+
+def test_log_reservation_survives_blob_wipe():
+    """fail_node wipes a device's *blobs*; the log lives as a
+    reservation and must survive — that is the durable-medium model."""
+    sim, dev, wal = _wal()
+    _drive(sim, dev.put(("v", 0), b"b" * 512))
+    wal.stage("v", 0, b"c" * 512)
+    _drive(sim, wal.commit_barrier(1))
+    before = wal._reserved
+    for key in list(dev.keys()):
+        dev.delete(key)
+    assert dev.used == before  # only the blob bytes were released
+    assert wal.lookup("v", 0)[0] == b"c" * 512
+
+
+def test_commit_raises_when_durable_tier_is_full():
+    sim = Simulator()
+    dev = Device(sim, PMEM.with_capacity(256), name="node0.pmem")
+    wal = WriteAheadLog(dev, node_id=0)
+    wal.stage("v", 0, b"w" * 4096)
+    with pytest.raises(DeviceFullError):
+        _drive(sim, wal.commit_barrier(1))
+
+
+def test_commit_folds_snapshot_to_reclaim_marker_overhead():
+    """When the tier cannot fit the next barrier, the commit folds the
+    log into a snapshot first (dropping per-barrier markers and
+    superseded record versions) and retries."""
+    page = b"p" * 1024
+    need = SNAPSHOT_HEADER + 40 * (RECORD_HEADER + len(page)) \
+        + 40 * COMMIT_MARKER
+    sim = Simulator()
+    dev = Device(sim, PMEM.with_capacity(need), name="node0.pmem")
+    wal = WriteAheadLog(dev, node_id=0, snapshot_every=10 ** 9)
+    # The same page re-committed many times: the raw log would need
+    # ~40 record slots, the folded image needs one.
+    for barrier in range(1, 40):
+        wal.stage("v", 0, page)
+        _drive(sim, wal.commit_barrier(barrier))
+    assert wal.committed_seq == 39
+    assert wal.lookup("v", 0)[0] == page
+    assert wal._reserved <= need
