@@ -12,11 +12,14 @@ Usage::
 
     python scripts/check_perf_floor.py [--results DIR] [--floors FILE]
                                        [--match SUBSTR]
+                                       [--exclude SUBSTR]
 
 ``--match`` restricts the gate to floors whose metric name contains
 the substring — e.g. ``--match recovery`` lets the durability-smoke CI
 job enforce only the recovery floors without requiring the kernel
-benchmarks to have run in that job.
+benchmarks to have run in that job. ``--exclude`` is the complement:
+``--exclude colocation`` lets the otherwise-unfiltered bench-perf job
+skip the floor whose benchmark runs in the colocation-smoke job.
 """
 
 from __future__ import annotations
@@ -52,6 +55,9 @@ def main(argv=None) -> int:
     ap.add_argument("--match", default="",
                     help="only enforce floors whose metric name "
                          "contains this substring")
+    ap.add_argument("--exclude", default="",
+                    help="skip floors whose metric name contains "
+                         "this substring")
     args = ap.parse_args(argv)
 
     with open(args.floors, encoding="utf-8") as fh:
@@ -60,6 +66,13 @@ def main(argv=None) -> int:
         floors = {m: f for m, f in floors.items() if args.match in m}
         if not floors:
             print(f"no floors match {args.match!r}", file=sys.stderr)
+            return 1
+    if args.exclude:
+        floors = {m: f for m, f in floors.items()
+                  if args.exclude not in m}
+        if not floors:
+            print(f"--exclude {args.exclude!r} leaves no floors",
+                  file=sys.stderr)
             return 1
     metrics = load_latest_metrics(args.results)
 

@@ -5,6 +5,7 @@
     python -m repro report <pipeline.yaml | trace.json> [--json]
     python -m repro diff A.trace.json B.trace.json [--json]
     python -m repro chaos pipelines/chaos_kmeans_2n.yaml --seeds 25
+    python -m repro colocate pipelines/colocate_mixed.yaml
 
 Mirrors the artifact's ``jarvis ppl run yaml /path/to/workflow.yaml``;
 the ``trace`` subcommand additionally records latency spans and writes
@@ -30,7 +31,7 @@ import tempfile
 
 from repro.pipeline import run_pipeline
 
-_SUBCOMMANDS = ("run", "trace", "report", "diff", "chaos")
+_SUBCOMMANDS = ("run", "trace", "report", "diff", "chaos", "colocate")
 
 
 def _print_rows(rows) -> None:
@@ -200,6 +201,31 @@ def _cmd_chaos(args) -> int:
     return 1
 
 
+def _cmd_colocate(args) -> int:
+    from repro.tenancy import run_colocation
+    workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-colo-")
+    result = run_colocation(args.spec, workdir=workdir)
+    if not result.rows:
+        print("colocation produced no rows", file=sys.stderr)
+        return 1
+    _print_rows(result.rows)
+    ok = [r for r in result.rows if r["status"] == "ok"]
+    print(f"\n{len(ok)}/{len(result.rows)} jobs completed in "
+          f"{result.makespan:.3f}s simulated "
+          f"({len(result.decisions)} scheduler decisions)")
+    if args.decisions:
+        for d in result.decisions:
+            print("  " + json.dumps(d))
+    rates = [1.0 / r["service_s"] for r in ok if r["service_s"]]
+    if len(rates) > 1:
+        jain = (sum(rates) ** 2) / (len(rates) * sum(x * x
+                                                     for x in rates))
+        print(f"Jain fairness index over per-job service rates: "
+              f"{jain:.4f}")
+    print(f"stats written to {workdir}/", flush=True)
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `python -m repro file.yaml` means `run file.yaml`.
@@ -290,6 +316,20 @@ def main(argv=None) -> int:
                          help="replay-file path to re-run instead of "
                               "a seeded campaign")
 
+    p_colo = sub.add_parser(
+        "colocate",
+        help="run N jobs as tenants of one shared deployment with "
+             "per-tenant quotas, admission control and fast-memory "
+             "reallocation")
+    p_colo.add_argument("spec", help="path to a colocation YAML spec")
+    p_colo.add_argument("--workdir", default=None,
+                        help="directory for datasets + "
+                             "colocate_stats.csv (default: a fresh "
+                             "temp directory)")
+    p_colo.add_argument("--decisions", action="store_true",
+                        help="also print the admission/reallocation "
+                             "decision log")
+
     args = parser.parse_args(argv)
     if args.command == "diff":
         for path in (args.a, args.b):
@@ -297,7 +337,12 @@ def main(argv=None) -> int:
                 print(f"error: file not found: {path}", file=sys.stderr)
                 return 2
         return _cmd_diff(args)
-    target = args.target if args.command == "report" else args.pipeline
+    if args.command == "report":
+        target = args.target
+    elif args.command == "colocate":
+        target = args.spec
+    else:
+        target = args.pipeline
     if not os.path.exists(target):
         print(f"error: file not found: {target}", file=sys.stderr)
         return 2
@@ -305,6 +350,8 @@ def main(argv=None) -> int:
         return _cmd_report(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "colocate":
+        return _cmd_colocate(args)
 
     workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-ppl-")
     trace_path = None

@@ -1,0 +1,39 @@
+"""Streaming-scan antagonist workload for colocation experiments.
+
+``mm_stream`` maps a file-backed dataset and sweeps it sequentially
+``passes`` times with no reuse between touches — the classic
+cache-polluting neighbor. Under naive sharing its stage-ins flood the
+fast tier and demote colocated tenants' hot pages; under per-tenant
+quotas its placements spill past its DRAM slice instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.datagen import POINT3D
+from repro.core import MM_READ_ONLY, SeqTx
+
+
+def mm_stream(ctx, url, passes=1, pcache=None):
+    """Sequentially scan the dataset ``passes`` times; returns the
+    running float64 checksum (bit-stable across identical runs)."""
+    pts = yield from ctx.mm.vector(url, dtype=POINT3D)
+    if pcache:
+        pts.bound_memory(pcache)
+    pts.pgas(ctx.rank, ctx.nprocs)
+    checksum = 0.0
+    for _ in range(int(passes)):
+        yield from pts.tx_begin(SeqTx(pts.local_off(),
+                                      pts.local_size(),
+                                      MM_READ_ONLY))
+        while True:
+            chunk = yield from pts.next_chunk()
+            if chunk is None:
+                break
+            yield from ctx.compute_bytes(chunk.data.nbytes, factor=1.0)
+            checksum += float(
+                np.asarray(chunk.data["x"], dtype=np.float64).sum())
+        yield from pts.tx_end()
+    yield from ctx.barrier()
+    return checksum

@@ -83,15 +83,19 @@ class AppContext:
     """Everything one application process sees."""
 
     def __init__(self, cluster: "SimCluster", rank: int, comm: Comm,
-                 mm: MegaMmapClient):
+                 mm: MegaMmapClient, nprocs: Optional[int] = None,
+                 rng=None):
         self.cluster = cluster
         self.sim = cluster.sim
         self.rank = rank
-        self.nprocs = cluster.spec.nprocs
+        # Colocated jobs see their own world size and rng stream, not
+        # the cluster's — the defaults keep plain runs bit-identical.
+        self.nprocs = cluster.spec.nprocs if nprocs is None else nprocs
         self.comm = comm
         self.node = comm.node
         self.mm = mm
-        self.rng = rng_stream(cluster.spec.seed, "proc", rank)
+        self.rng = rng if rng is not None \
+            else rng_stream(cluster.spec.seed, "proc", rank)
         self._allocs = 0
 
     # -- compute charging ------------------------------------------------------

@@ -32,6 +32,18 @@ class MegaMmapClient:
         self.rank = rank
         self.node = node
         self._outstanding: List[Event] = []
+        #: Tenant this client acts for (a :class:`TenantQuota`), or
+        #: None outside colocation — the None path is byte-identical
+        #: to pre-tenancy behavior.
+        self.tenant = None
+        self._m_task_lat = None
+
+    def bind_tenant(self, tenant) -> None:
+        """Attach this client to a tenant: pcache charges, volatile-key
+        namespacing and per-task latency samples go to its ledger."""
+        self.tenant = tenant
+        self._m_task_lat = self.system.monitor.metrics.histogram(
+            "tenant_task_latency", tenant=tenant.name)
 
     # -- vectors -------------------------------------------------------------
     def vector(self, key: str, dtype=None, size: Optional[int] = None,
@@ -44,7 +56,13 @@ class MegaMmapClient:
         transparently (Listing 1: "The vector size is the dataset size
         ... divided by the size of Point3D"). Plain keys denote
         volatile vectors (``size`` required on first creation).
+
+        Under a bound tenant, volatile keys are namespaced per tenant
+        (two colocated Gray-Scott jobs must not share ``gs:u0``);
+        nonvolatile URL keys stay global — datasets are shareable.
         """
+        if self.tenant is not None:
+            key = self.tenant.scoped_key(key)
         shared = self.system.vectors.get(key)
         if shared is None:
             shared = yield from self._create(key, dtype, size, page_size,
@@ -90,7 +108,13 @@ class MegaMmapClient:
         yield from self.system.network.transfer(self.node, coord, 128)
         yield from self.system.network.transfer(coord, self.node, 128)
         # Another process may have won the race while we yielded.
-        return self.system.vectors.setdefault(key, shared)
+        won = self.system.vectors.setdefault(key, shared)
+        tenancy = self.system.tenancy
+        if tenancy is not None and won is shared and self.tenant is not None:
+            # First creator owns the bucket: its tenant is debited for
+            # every authoritative blob in it, whoever evicts it later.
+            tenancy.claim_bucket(key, self.tenant.name)
+        return won
 
     # -- task submission ---------------------------------------------------------
     def submit(self, task: MemoryTask, wait: bool = True):
@@ -111,10 +135,14 @@ class MegaMmapClient:
         if h is not None:
             h.on_task(self, task.kind.value, task.vector_name,
                       task.page_idx, target)
+        extra = {} if self.tenant is None else {
+            "tenant": self.tenant.name}
+        t0 = self.system.sim.now
         with self.system.tracer.span(
                 f"submit:{task.kind.value}", "rpc", node=self.node,
                 target=target, vector=task.vector_name,
-                page=task.page_idx, wait=wait, nbytes=nbytes) as sp:
+                page=task.page_idx, wait=wait, nbytes=nbytes,
+                **extra) as sp:
             if self.system.tracer.enabled:
                 task.ctx = sp.span_id
             yield from self.system.network.transfer(self.node, target,
@@ -122,6 +150,8 @@ class MegaMmapClient:
             self.system.runtimes[target].submit(task)
             if wait:
                 result = yield task.done
+                if self._m_task_lat is not None:
+                    self._m_task_lat.observe(self.system.sim.now - t0)
                 return result
         self._outstanding.append(task.done)
         return None
@@ -175,6 +205,9 @@ class MegaMmapClient:
             for owner, batch, _chunk in batches:
                 h.on_task(self, f"batch:{batch.kind.value}",
                           batch.vector_name, len(batch), owner)
+        extra = {} if self.tenant is None else {
+            "tenant": self.tenant.name}
+        t0 = self.system.sim.now
         for owner, batch, _chunk in batches:
             payloads = [t.nbytes if t.kind is TaskKind.WRITE else 0
                         for t in batch.tasks]
@@ -182,7 +215,8 @@ class MegaMmapClient:
             with self.system.tracer.span(
                     f"submit_batch:{batch.kind.value}", "rpc.batch",
                     node=self.node, target=owner, vector=batch.vector_name,
-                    count=len(batch), wait=wait, nbytes=nbytes) as sp:
+                    count=len(batch), wait=wait, nbytes=nbytes,
+                    **extra) as sp:
                 if self.system.tracer.enabled:
                     batch.ctx = sp.span_id
                 yield from self.system.network.transfer(self.node, owner,
@@ -194,6 +228,8 @@ class MegaMmapClient:
             return None
         results: List = [None] * len(tasks)
         yield AllOf(self.system.sim, [b.done for _o, b, _c in batches])
+        if self._m_task_lat is not None:
+            self._m_task_lat.observe(self.system.sim.now - t0)
         for _owner, batch, chunk in batches:
             for pos, value in zip(chunk, batch.done.value):
                 results[pos] = value
@@ -240,7 +276,17 @@ class MegaMmapClient:
         dram = self.system.dmshs[self.node].tiers[0]
         dram.reserve(nbytes, strict=False)
         self.system.monitor.count("pcache.bytes_reserved", nbytes)
+        if self.tenant is not None:
+            self.tenant.charge_pcache(nbytes)
 
     def unreserve_pcache(self, nbytes: int) -> None:
         dram = self.system.dmshs[self.node].tiers[0]
         dram.unreserve(nbytes)
+        if self.tenant is not None:
+            self.tenant.release_pcache(nbytes)
+
+    def pcache_over_quota(self, extra: int = 0) -> bool:
+        """True when this client's tenant would exceed its pcache byte
+        quota after growing by ``extra``. Always False untenanted."""
+        t = self.tenant
+        return t is not None and t.pcache_over(extra)

@@ -109,6 +109,19 @@ class MegaMmapConfig:
     #: many barriers (bounds recovery time: RTO scales with
     #: ``snapshot + tail-of-log``, not with history).
     wal_snapshot_every: int = 8
+    #: Seconds between MaxMem-style fast-memory reallocation sweeps in
+    #: a colocated run (only consulted when a tenancy scheduler enables
+    #: the loop; single-tenant runs never start it).
+    realloc_period: float = 0.25
+    #: Bytes of DRAM-tier quota moved from donor to receiver per sweep.
+    realloc_step: int = 2 * MB
+    #: Receiver reuse density must exceed donor density by this factor
+    #: before quota moves (hysteresis against thrash between tenants
+    #: with similar miss profiles).
+    realloc_hysteresis: float = 1.5
+    #: Cap on blob demotions+promotions enforced per sweep (bounds the
+    #: data movement a single reallocation decision can trigger).
+    realloc_max_moves: int = 32
 
     def validated(self) -> "MegaMmapConfig":
         if self.page_size <= 0:
@@ -130,6 +143,18 @@ class MegaMmapConfig:
         if self.wal_snapshot_every < 1:
             raise ValueError(f"wal_snapshot_every must be at least 1, "
                              f"got {self.wal_snapshot_every}")
+        if self.realloc_period <= 0:
+            raise ValueError(f"realloc_period must be positive, got "
+                             f"{self.realloc_period}")
+        if self.realloc_step < 1:
+            raise ValueError(f"realloc_step must be at least 1, got "
+                             f"{self.realloc_step}")
+        if self.realloc_hysteresis < 1.0:
+            raise ValueError(f"realloc_hysteresis must be >= 1, got "
+                             f"{self.realloc_hysteresis}")
+        if self.realloc_max_moves < 1:
+            raise ValueError(f"realloc_max_moves must be at least 1, "
+                             f"got {self.realloc_max_moves}")
         return self
 
     @classmethod

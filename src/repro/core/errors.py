@@ -16,3 +16,8 @@ class TransactionError(MegaMmapError):
 
 class RuntimeShutdownError(MegaMmapError):
     """Operation submitted to a runtime that has been shut down."""
+
+
+class QuotaExceededError(MegaMmapError):
+    """A tenant exceeded a hard quota, or a job's minimum quota cannot
+    be admitted against the cluster's capacity."""

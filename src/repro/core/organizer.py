@@ -118,6 +118,24 @@ class DataOrganizer:
             desired = dmsh.tier_for_score(pend.score, info.nbytes)
             if desired is None:
                 continue
+            if hermes.admission is not None:
+                # Tenancy: score-driven promotion must respect the
+                # owner's admission floor — a hot page of an
+                # over-quota tenant stays below the fast tier instead
+                # of displacing other tenants' capacity (the
+                # reallocation loop, not the organizer, is what grows
+                # a tenant's fast-memory slice).
+                floor = hermes._admission_floor(
+                    target_node, vec_name, info.nbytes)
+                if floor > 0:
+                    tiers = dmsh.tiers
+                    didx = next(i for i, d in enumerate(tiers)
+                                if d.spec.kind == desired.spec.kind)
+                    if didx < floor:
+                        if floor >= len(tiers) \
+                                or not tiers[floor].fits(info.nbytes):
+                            continue
+                        desired = tiers[floor]
             if (desired.spec.kind != info.tier
                     or target_node != info.node):
                 try:

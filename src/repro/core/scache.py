@@ -41,6 +41,9 @@ class ScacheExecutor:
         if vec is None or vec.destroyed:
             raise MegaMmapError(
                 f"task for unknown/destroyed vector {task.vector_name!r}")
+        tenancy = self.system.tenancy
+        if tenancy is not None:
+            tenancy.note_scache_op(vec.name, task.kind.value)
         tracer = self.system.tracer
         if task.kind is TaskKind.READ:
             with tracer.span("read", "scache", node=self.node_id,
@@ -72,6 +75,10 @@ class ScacheExecutor:
             raise MegaMmapError(
                 f"batch for unknown/destroyed vector "
                 f"{batch.vector_name!r}")
+        tenancy = self.system.tenancy
+        if tenancy is not None:
+            tenancy.note_scache_op(vec.name, batch.kind.value,
+                                   len(batch))
         tracer = self.system.tracer
         if batch.kind is TaskKind.READ:
             with tracer.span("read_batch", "scache.batch",

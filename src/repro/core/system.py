@@ -57,6 +57,10 @@ class MegaMmapSystem:
         #: (the default) keeps all hooks on the one-attribute-test fast
         #: path.
         self.history = None
+        #: Tenancy quota manager (``repro.tenancy.QuotaManager``), set
+        #: by the colocation scheduler. ``None`` (the default) keeps
+        #: every tenancy hook on the one-attribute-test fast path.
+        self.tenancy = None
         #: In-flight collective page fetches: (vector, page) -> entry.
         self._collective: Dict = {}
         self.organizer = DataOrganizer(self)

@@ -621,7 +621,11 @@ class Vector:
         """
         if nbytes is None:
             nbytes = self.shared.page_size
-        while self.pcache_used + nbytes > self.pcache_budget:
+        # A tenant over its cluster-wide pcache quota self-evicts down
+        # toward it (soft enforcement: other handles' frames are out of
+        # reach, so the loop stops when this handle has nothing left).
+        while (self.pcache_used + nbytes > self.pcache_budget
+               or self.client.pcache_over_quota(nbytes)):
             candidates = [p for p in self.frames if p not in exclude]
             if not candidates:
                 break
@@ -704,7 +708,8 @@ class Vector:
             # with ``page_size`` both refused prefetches that fit and
             # (were a frame ever larger) would over-commit the budget.
             page_nbytes = self.shared.page_nbytes(page_idx)
-            if self.pcache_used + page_nbytes > self.pcache_budget:
+            if self.pcache_used + page_nbytes > self.pcache_budget \
+                    or self.client.pcache_over_quota(page_nbytes):
                 continue
             frame = Frame(page_nbytes)
             self.frames[page_idx] = frame

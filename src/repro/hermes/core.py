@@ -67,6 +67,32 @@ class Hermes:
         #: blobs to free capacity, like the OS page cache dropping
         #: clean pages. Consulted as placement's last resort.
         self.evictor = None
+        #: Tenancy hooks (all optional, installed by a QuotaManager).
+        #: ``accountant(bucket, node, tier, delta_bytes)`` — untimed
+        #: callback fired when the authoritative copy of a blob is
+        #: created (+), destroyed (−) or relocated (−old, +new), so an
+        #: external owner map can keep per-tenant byte ledgers.
+        #: Replicas are deliberately unaccounted: they are redundant
+        #: copies the system may drop at any time.
+        self.accountant = None
+        #: ``admission(node, bucket, nbytes) -> int`` — minimum tier
+        #: index new placements of ``bucket`` may use on ``node``. A
+        #: tenant over its fast-memory quota gets floor 1: its blobs
+        #: spill to the next tier instead of demoting other tenants'
+        #: hot pages out of DRAM.
+        self.admission = None
+        #: ``read_hook(bucket, tier, nbytes)`` — untimed callback per
+        #: authoritative-copy read, for per-tenant tier hit ratios.
+        self.read_hook = None
+
+    def _account(self, bucket, node, tier, delta) -> None:
+        if self.accountant is not None:
+            self.accountant(bucket, node, tier, delta)
+
+    def _admission_floor(self, node: int, bucket, nbytes: int) -> int:
+        if self.admission is None or bucket is None:
+            return 0
+        return self.admission(node, bucket, nbytes)
 
     def _lock(self, bucket: str, key) -> Lock:
         lk = self._locks.get((bucket, key))
@@ -79,18 +105,24 @@ class Hermes:
         return self.dmshs[node].tier(tier)
 
     def _place(self, node: int, nbytes: int, score: float,
-               exclude: Optional[set] = None):
+               exclude: Optional[set] = None, bucket=None):
         """Choose a device for a new blob. Generator.
 
         Order of attempts (paper III-D): (1) the policy's ideal tier if
         it has room; (2) demote strictly colder residents out of the
         ideal tier; (3) the next deeper tier with room; (4) demotion
         cascade anywhere; else :class:`PlacementError`. Devices named
-        in ``exclude`` are skipped (capacity-race victims).
+        in ``exclude`` are skipped (capacity-race victims). The
+        tenancy ``admission`` hook may raise the starting tier index —
+        tiers above the floor are never attempted (and never demoted
+        against), so an over-quota tenant spills instead of evicting.
         """
         exclude = exclude or set()
         dmsh = self.dmshs[node]
         idx = self.policy.ideal_index(dmsh, nbytes, score)
+        floor = self._admission_floor(node, bucket, nbytes)
+        if floor > idx:
+            idx = min(floor, len(dmsh.tiers) - 1)
         ideal = dmsh.tiers[idx]
         if ideal.name not in exclude:
             if ideal.fits(nbytes):
@@ -113,14 +145,22 @@ class Hermes:
         if self.evictor is not None:
             freed = yield from self.evictor(node, nbytes)
             if freed:
-                dev = dmsh.fastest_with_room(nbytes)
+                if floor > 0:
+                    dev = None
+                    for cand in dmsh.tiers[floor:]:
+                        if cand.fits(nbytes):
+                            dev = cand
+                            break
+                else:
+                    dev = dmsh.fastest_with_room(nbytes)
                 if dev is not None and dev.name not in exclude:
                     return dev
         raise PlacementError(
             f"node {node}: no tier with {nbytes} bytes free "
             f"(composition {dmsh.describe()})")
 
-    def _put_with_retry(self, node: int, key, data, score: float):
+    def _put_with_retry(self, node: int, key, data, score: float,
+                        bucket=None):
         """Place and store, retrying when a concurrent writer consumed
         the chosen tier's capacity while our transfer was queued. A
         tier that loses twice is excluded (a churning near-full tier
@@ -131,7 +171,7 @@ class Hermes:
         exclude: set = set()
         for _ in range(4 * len(self.dmshs[node].tiers) + 4):
             dev = yield from self._place(node, len(data), score,
-                                         exclude=exclude)
+                                         exclude=exclude, bucket=bucket)
             try:
                 yield from dev.put(key, data)
                 return dev
@@ -203,9 +243,10 @@ class Hermes:
             yield from self.mdm.delete(client_node, bucket, key)
             yield from self._drop_all_copies(info)
         dev = yield from self._put_with_retry(node, (bucket, key), data,
-                                              score)
+                                              score, bucket=bucket)
         info = BlobInfo(bucket=bucket, key=key, node=node,
                         tier=dev.spec.kind, nbytes=len(data), score=score)
+        self._account(bucket, node, dev.spec.kind, len(data))
         yield from self.mdm.put(client_node, info)
         if self.monitor is not None:
             self.monitor.count("hermes.puts")
@@ -240,10 +281,12 @@ class Hermes:
                 yield from self.mdm.delete(node, bucket, key)
                 yield from self._drop_all_copies(info)
             dev = yield from self._put_with_retry(node, (bucket, key),
-                                                  data, score)
+                                                  data, score,
+                                                  bucket=bucket)
             info = BlobInfo(bucket=bucket, key=key, node=node,
                             tier=dev.spec.kind, nbytes=len(data),
                             score=score)
+            self._account(bucket, node, dev.spec.kind, len(data))
             yield from self.mdm.put(node, info)
         finally:
             lock.release()
@@ -298,10 +341,11 @@ class Hermes:
                     yield from self.mdm.delete(client_node, bucket, key)
                     yield from self._drop_all_copies(info)
                 dev = yield from self._put_with_retry(
-                    node, (bucket, key), data, score)
+                    node, (bucket, key), data, score, bucket=bucket)
                 info = BlobInfo(bucket=bucket, key=key, node=node,
                                 tier=dev.spec.kind, nbytes=len(data),
                                 score=score)
+                self._account(bucket, node, dev.spec.kind, len(data))
                 new_infos.append(info)
                 out[key] = info
                 if self.monitor is not None:
@@ -354,6 +398,8 @@ class Hermes:
         dev = self._device(node, tier)
         raw = yield from dev.get((bucket, key))
         yield from self.network.transfer(node, client_node, len(raw))
+        if self.read_hook is not None:
+            self.read_hook(bucket, tier, len(raw))
         if self.monitor is not None:
             self.monitor.count("hermes.gets")
             self.monitor.metrics.counter(
@@ -389,6 +435,8 @@ class Hermes:
                 lock.release()
             out[key] = raw
             by_src[node] = by_src.get(node, 0) + len(raw)
+            if self.read_hook is not None:
+                self.read_hook(bucket, tier, len(raw))
             if self.monitor is not None:
                 self.monitor.count("hermes.gets")
                 self.monitor.metrics.counter(
@@ -415,6 +463,8 @@ class Hermes:
         dev = self._device(node, tier)
         raw = yield from dev.get_range((bucket, key), offset, nbytes)
         yield from self.network.transfer(node, client_node, len(raw))
+        if self.read_hook is not None:
+            self.read_hook(bucket, tier, len(raw))
         return raw
 
     def _nearest_copy(self, info: BlobInfo, client_node: int):
@@ -472,7 +522,21 @@ class Hermes:
             raw = yield from src_dev.get((bucket, key))
             yield from self.network.transfer(src_node, client_node,
                                              len(raw))
-            local = self.dmshs[client_node].fastest_with_room(len(raw))
+            if self.read_hook is not None:
+                self.read_hook(bucket, src_tier, len(raw))
+            # Replicas obey the same admission floor as primaries: an
+            # over-quota tenant must not backfill DRAM via the
+            # replication side door.
+            floor = self._admission_floor(client_node, bucket, len(raw))
+            if floor > 0:
+                local = None
+                for cand in self.dmshs[client_node].tiers[floor:]:
+                    if cand.fits(len(raw)):
+                        local = cand
+                        break
+            else:
+                local = self.dmshs[client_node].fastest_with_room(
+                    len(raw))
             if local is not None:
                 from repro.storage.device import DeviceFullError
                 try:
@@ -537,6 +601,8 @@ class Hermes:
                                                  len(raw))
             yield from dst.put((bucket, key), raw)
             src.delete((bucket, key))
+            self._account(bucket, info.node, info.tier, -info.nbytes)
+            self._account(bucket, node, to_tier, info.nbytes)
             info.node, info.tier = node, to_tier
         if self.monitor is not None:
             self.monitor.count("hermes.moves")
@@ -561,6 +627,11 @@ class Hermes:
             dev = self._device(node, tier)
             if (info.bucket, info.key) in dev:
                 dev.delete((info.bucket, info.key))
+        # Debit the blob's OWNER via the bucket ledger, regardless of
+        # which tenant's activity triggered the drop — the credit
+        # happened at creation, so the debit must mirror it even when
+        # the primary device no longer holds the bytes (crash paths).
+        self._account(info.bucket, info.node, info.tier, -info.nbytes)
         if False:  # pragma: no cover - keeps this a generator
             yield
 

@@ -133,6 +133,13 @@ def _run_mm_gray_scott(cluster, spec, workdir):
                        app.get("pcache"))
 
 
+def _run_mm_stream(cluster, spec, workdir):
+    from repro.apps.stream import mm_stream
+    app = spec["app"]
+    return cluster.run(mm_stream, _kmeans_urls(spec, workdir),
+                       app.get("passes", 1), app.get("pcache"))
+
+
 def _run_mpi_gray_scott(cluster, spec, workdir):
     from repro.apps.grayscott import mpi_gray_scott
     app = spec["app"]
@@ -150,6 +157,7 @@ APP_REGISTRY: Dict[str, Callable] = {
     "spark_random_forest": _run_spark_rf,
     "mm_gray_scott": _run_mm_gray_scott,
     "mpi_gray_scott": _run_mpi_gray_scott,
+    "mm_stream": _run_mm_stream,
 }
 
 #: cluster-section keys consumed by the builder (everything else goes

@@ -186,9 +186,8 @@ class LabeledHistogram:
 
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
-_LINE_RE = re.compile(
-    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})?\s+(\S+)$')
-_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+_METRIC_RE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)')
+_LABEL_RE = re.compile(r'\s*(\w+)\s*=\s*"((?:[^"\\]|\\.)*)"\s*(,)?')
 
 
 def _prom_name(name: str) -> str:
@@ -202,8 +201,74 @@ def _prom_escape(value: str) -> str:
 
 
 def _prom_unescape(value: str) -> str:
-    return (value.replace("\\n", "\n").replace('\\"', '"')
-            .replace("\\\\", "\\"))
+    """Invert :func:`_prom_escape` with a single left-to-right scan.
+
+    Sequential ``str.replace`` passes corrupt values where one escape's
+    output is another escape's input: a literal backslash followed by
+    ``n`` escapes to ``\\\\n``, which a ``\\n``-first replace pass
+    wrongly turns into a newline. Scanning consumes each escape pair
+    exactly once.
+    """
+    if "\\" not in value:
+        return value
+    out = []
+    i = 0
+    n = len(value)
+    while i < n:
+        ch = value[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _split_label_block(line: str):
+    """Split one exposition line into (name, label-block, value).
+
+    Returns None for lines that are not samples. The label block is
+    extracted with a quote-aware scan: a ``}`` (or ``{``, or spaces)
+    inside a quoted label value — legal once values are escaped — must
+    not terminate the block, which is exactly what a ``\\{([^}]*)\\}``
+    regex gets wrong.
+    """
+    m = _METRIC_RE.match(line)
+    if not m:
+        return None
+    name = m.group(1)
+    rest = line[m.end():]
+    labelstr = None
+    if rest.startswith("{"):
+        in_quotes = False
+        escaped = False
+        end = -1
+        for i in range(1, len(rest)):
+            ch = rest[i]
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_quotes = not in_quotes
+            elif ch == "}" and not in_quotes:
+                end = i
+                break
+        if end < 0:
+            return None
+        labelstr = rest[1:end]
+        rest = rest[end + 1:]
+    value = rest.strip().split()
+    if len(value) < 1:
+        return None
+    return name, labelstr, value[0]
 
 
 def _prom_labels(labels: LabelSet) -> str:
@@ -223,15 +288,19 @@ def parse_prometheus(text: str) -> Dict[Tuple[str, LabelSet], float]:
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        m = _LINE_RE.match(line)
-        if not m:
+        parsed = _split_label_block(line)
+        if parsed is None:
             continue
-        name, labelstr, value = m.groups()
+        name, labelstr, value = parsed
         labels: List[Tuple[str, str]] = []
         if labelstr:
             for lm in _LABEL_RE.finditer(labelstr):
                 labels.append((lm.group(1), _prom_unescape(lm.group(2))))
-        out[(name, tuple(sorted(labels)))] = float(value)
+        try:
+            fval = float(value)
+        except ValueError:
+            continue
+        out[(name, tuple(sorted(labels)))] = fval
     return out
 
 

@@ -222,6 +222,11 @@ class Tracer:
     def _finish(self, span: Span) -> None:
         self._durations.setdefault(span.category, []).append(
             span.duration)
+        tenant = span.attrs.get("tenant") if span.attrs else None
+        if tenant is not None:
+            self._durations.setdefault(
+                f"{span.category}[tenant={tenant}]", []).append(
+                span.duration)
         if len(self.spans) < self.max_spans:
             self.spans.append(span)
         else:

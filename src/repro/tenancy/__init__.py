@@ -1,0 +1,25 @@
+"""Multi-tenant colocation: quotas, admission control, reallocation.
+
+See DESIGN.md "Multi-tenancy". Entry point:
+``python -m repro colocate <spec.yaml>`` /
+:func:`repro.tenancy.run_colocation`.
+"""
+
+from repro.tenancy.quota import (QuotaExceededError, QuotaManager,
+                                 TenantQuota)
+from repro.tenancy.realloc import ReallocLoop
+from repro.tenancy.scheduler import (ColocationResult, JobScheduler,
+                                     JobSpec, load_colocation_spec,
+                                     run_colocation)
+
+__all__ = [
+    "ColocationResult",
+    "JobScheduler",
+    "JobSpec",
+    "QuotaExceededError",
+    "QuotaManager",
+    "ReallocLoop",
+    "TenantQuota",
+    "load_colocation_spec",
+    "run_colocation",
+]

@@ -100,6 +100,47 @@ def test_prometheus_escapes_label_values(monitor):
     assert parsed[("weird", (("path", 'a"b\\c\nd'),))] == 7.0
 
 
+def test_prometheus_backslash_n_is_not_newline(monitor):
+    # Regression: unescaping with sequential str.replace turned an
+    # escaped backslash followed by a literal 'n' (wire form
+    # ``\\n``) into a newline. The scan-based unescape must keep
+    # a literal backslash + 'n' distinct from an escaped newline.
+    monitor.metrics.counter("tricky", a="back\\nslash").inc(1)
+    monitor.metrics.counter("tricky", a="new\nline").inc(2)
+    parsed = parse_prometheus(monitor.metrics.to_prometheus())
+    assert parsed[("tricky", (("a", "back\\nslash"),))] == 1.0
+    assert parsed[("tricky", (("a", "new\nline"),))] == 2.0
+
+
+def test_prometheus_brace_inside_label_value(monitor):
+    # Regression: the line regex used ``\{([^}]*)\}``, so a ``}`` in
+    # a quoted label value truncated the label block mid-value.
+    monitor.metrics.counter("braces", expr='f(x) = {x}').inc(3)
+    monitor.metrics.gauge("braces2", js='{"k": "v"}').set(4)
+    parsed = parse_prometheus(monitor.metrics.to_prometheus())
+    assert parsed[("braces", (("expr", 'f(x) = {x}'),))] == 3.0
+    assert parsed[("braces2", (("js", '{"k": "v"}'),))] == 4.0
+
+
+def test_prometheus_label_value_round_trip_property(monitor):
+    # Property test: any printable label value survives the
+    # export/parse round trip — quotes, backslashes, newlines,
+    # braces, commas, equals signs, and every pairing of them.
+    import random
+    rng = random.Random(20240807)
+    alphabet = '"\\\n{}=,ab 0'
+    values = ['"', "\\", "\n", "\\n", '\\"', "{", "}", "=,", '",v"']
+    values += ["".join(rng.choice(alphabet)
+                       for _ in range(rng.randrange(1, 12)))
+               for _ in range(120)]
+    for i, v in enumerate(values):
+        monitor.metrics.counter("prop", idx=str(i), v=v).inc(i + 1)
+    parsed = parse_prometheus(monitor.metrics.to_prometheus())
+    for i, v in enumerate(values):
+        key = ("prop", (("idx", str(i)), ("v", v)))
+        assert parsed[key] == float(i + 1), repr(v)
+
+
 def test_prometheus_sanitizes_metric_names(monitor):
     monitor.metrics.counter("pcache.faults-total", node=0).inc()
     text = monitor.metrics.to_prometheus()

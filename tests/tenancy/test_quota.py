@@ -1,0 +1,222 @@
+"""Per-tenant ledger accounting: credits, owner-debits, quotas.
+
+The regression these tests pin down: accounting used to be
+tenant-blind — when tenant B's placement pressure demoted or evicted
+tenant A's blob, nothing recorded whose bytes left the fast tier, so
+B could launder its footprint onto A. Every debit must now land on
+the bucket *owner's* ledger regardless of which tenant's activity
+triggered it, and the incremental hook accounting must always agree
+with a from-scratch metadata sweep (``QuotaManager.ledger_sweep``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MM_READ_ONLY, MM_WRITE_ONLY, SeqTx
+from repro.tenancy import QuotaManager, TenantQuota
+from tests.core.conftest import build_system, run_procs
+
+KB = 1024
+
+
+def _manager(system, *quotas):
+    qm = QuotaManager(system)
+    for q in quotas:
+        qm.register(q)
+    return qm
+
+
+def _assert_ledgers_match_sweep(qm):
+    sweep = qm.ledger_sweep()
+    for name, t in qm.tenants.items():
+        assert t.scache_used == sweep[name]["scache"], name
+        assert t.dram_used == sweep[name]["dram"], name
+
+
+def test_creation_credits_the_owner():
+    sim, system = build_system(n_nodes=1)
+    qm = _manager(system, TenantQuota(name="A"), TenantQuota(name="B"))
+    qm.claim_bucket("a-bkt", "A")
+    h = system.hermes
+
+    def proc():
+        yield from h.put(0, "a-bkt", "k", b"x" * (64 * KB))
+
+    sim.run(until=sim.process(proc()))
+    assert qm.tenants["A"].scache_used == 64 * KB
+    assert qm.tenants["A"].dram_used == 64 * KB
+    assert qm.tenants["B"].scache_used == 0
+    _assert_ledgers_match_sweep(qm)
+
+
+def test_cross_tenant_demotion_debits_the_owner_not_the_evictor():
+    # A fills DRAM with colder blobs; B's hot placement demotes them.
+    # The DRAM debit must land on A's ledger (B pays only for its own
+    # bytes), and A keeps its total scache footprint — demoted, not
+    # destroyed.
+    sim, system = build_system(n_nodes=1, dram_mb=1, nvme_mb=32)
+    qm = _manager(system, TenantQuota(name="A"), TenantQuota(name="B"))
+    qm.claim_bucket("a-bkt", "A")
+    qm.claim_bucket("b-bkt", "B")
+    h = system.hermes
+    a_bytes = 768 * KB
+
+    def proc():
+        yield from h.put(0, "a-bkt", "k", b"x" * a_bytes, score=0.3)
+        yield from h.put(0, "b-bkt", "k", b"y" * a_bytes, score=1.0)
+
+    sim.run(until=sim.process(proc()))
+    A, B = qm.tenants["A"], qm.tenants["B"]
+    assert A.scache_used == a_bytes       # still owns its bytes
+    assert A.dram_used == 0               # ... but they left DRAM
+    assert B.dram_used == a_bytes         # B pays for B
+    info = h.mdm.peek("a-bkt", "k")
+    assert info.tier != "dram"
+    _assert_ledgers_match_sweep(qm)
+
+
+def test_delete_debits_the_owner():
+    sim, system = build_system(n_nodes=1)
+    qm = _manager(system, TenantQuota(name="A"))
+    qm.claim_bucket("a-bkt", "A")
+    h = system.hermes
+
+    def proc():
+        yield from h.put(0, "a-bkt", "k", b"x" * (32 * KB))
+        yield from h.delete(0, "a-bkt", "k")
+
+    sim.run(until=sim.process(proc()))
+    assert qm.tenants["A"].scache_used == 0
+    assert qm.tenants["A"].dram_used == 0
+    _assert_ledgers_match_sweep(qm)
+
+
+def test_two_tenant_client_workload_ledgers_match_metadata():
+    # End-to-end regression through the real client path: two tenants
+    # write/flush/read through their own bound clients; hook
+    # accounting (create, demote, evict, rewrite) must equal the
+    # ground-truth metadata sweep at every quiescent point.
+    sim, system = build_system(n_nodes=2, dram_mb=1, nvme_mb=32)
+    qm = _manager(system, TenantQuota(name="A"), TenantQuota(name="B"))
+    n = 64 * KB  # int32 elements -> 256 KB per tenant
+
+    def tenant(rank, node, name, value):
+        client = system.client(rank=rank, node=node)
+        client.bind_tenant(qm.tenants[name])
+
+        def app():
+            vec = yield from client.vector("data", dtype=np.int32,
+                                           size=n)
+            vec.bound_memory(16 * 4096)
+            yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+            yield from vec.write_range(
+                0, np.full(n, value, dtype=np.int32))
+            yield from vec.tx_end()
+            yield from vec.flush(wait=True)
+            yield from vec.tx_begin(SeqTx(0, n, MM_READ_ONLY))
+            out = yield from vec.read_range(0, n)
+            yield from vec.tx_end()
+            return np.unique(out).tolist()
+
+        return app
+
+    res_a, res_b = run_procs(sim, tenant(0, 0, "A", 11)(),
+                             tenant(1, 1, "B", 22)())
+    assert res_a == [11]
+    assert res_b == [22]
+    # Namespacing: each tenant got its own vector under a scoped key.
+    assert "A::data" in system.vectors
+    assert "B::data" in system.vectors
+    assert qm.bucket_owner["A::data"] == "A"
+    assert qm.bucket_owner["B::data"] == "B"
+    assert qm.tenants["A"].scache_used > 0
+    assert qm.tenants["B"].scache_used > 0
+    _assert_ledgers_match_sweep(qm)
+
+
+def test_bucket_ownership_is_first_creator_wins():
+    sim, system = build_system(n_nodes=1)
+    qm = _manager(system, TenantQuota(name="A"), TenantQuota(name="B"))
+    qm.claim_bucket("shared", "A")
+    qm.claim_bucket("shared", "B")  # later attach: no transfer
+    assert qm.bucket_owner["shared"] == "A"
+
+
+def test_pcache_quota_bounds_a_tenants_private_cache():
+    # A pcache quota below the per-vector budget forces self-eviction
+    # in _make_room: as long as no single transaction pins a range
+    # larger than the quota, the tenant's cluster-wide pcache usage
+    # settles at or under its quota while data stays correct.
+    sim, system = build_system(n_nodes=1)
+    quota = 8 * 4096
+    qm = _manager(system, TenantQuota(name="A", pcache_quota=quota))
+    client = system.client(rank=0, node=0)
+    client.bind_tenant(qm.tenants["A"])
+    n = 16 * KB  # 64 KB of int32, 16 pages @ 4096
+    half = n // 2
+
+    def app():
+        vec = yield from client.vector("big", dtype=np.int32, size=n)
+        vec.bound_memory(32 * 4096)  # vector budget >> tenant quota
+        yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.arange(n, dtype=np.int32))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        parts = []
+        for lo in (0, half):  # two half-range read transactions
+            yield from vec.tx_begin(SeqTx(lo, half, MM_READ_ONLY))
+            parts.append((yield from vec.read_range(lo, half)))
+            yield from vec.tx_end()
+        return np.concatenate(parts)
+
+    out = run_procs(sim, app())[0]
+    assert np.array_equal(out, np.arange(n, dtype=np.int32))
+    assert qm.tenants["A"].pcache_used <= quota
+
+
+def test_pcache_quota_is_soft_under_a_pinned_transaction():
+    # A single transaction over a range larger than the quota pins all
+    # its frames (correctness beats quota), but the overcommit counter
+    # records every byte charged beyond the quota so operators can see
+    # the pressure.
+    sim, system = build_system(n_nodes=1)
+    quota = 8 * 4096
+    qm = _manager(system, TenantQuota(name="A", pcache_quota=quota))
+    client = system.client(rank=0, node=0)
+    client.bind_tenant(qm.tenants["A"])
+    n = 16 * KB
+
+    def app():
+        vec = yield from client.vector("big", dtype=np.int32, size=n)
+        vec.bound_memory(32 * 4096)
+        yield from vec.tx_begin(SeqTx(0, n, MM_WRITE_ONLY))
+        yield from vec.write_range(0, np.arange(n, dtype=np.int32))
+        yield from vec.tx_end()
+        yield from vec.flush(wait=True)
+        yield from vec.tx_begin(SeqTx(0, n, MM_READ_ONLY))
+        out = yield from vec.read_range(0, n)
+        yield from vec.tx_end()
+        return out
+
+    out = run_procs(sim, app())[0]
+    assert np.array_equal(out, np.arange(n, dtype=np.int32))
+    over = system.monitor.metrics.counter(
+        "tenant_pcache_overcommit", tenant="A")
+    assert over.value > 0
+
+
+def test_duplicate_registration_rejected():
+    sim, system = build_system(n_nodes=1)
+    qm = _manager(system, TenantQuota(name="A"))
+    from repro.tenancy import QuotaExceededError
+    with pytest.raises(QuotaExceededError):
+        qm.register(TenantQuota(name="A"))
+
+
+def test_nonvolatile_keys_stay_global_volatile_keys_scoped():
+    sim, system = build_system(n_nodes=1)
+    qm = _manager(system, TenantQuota(name="A"))
+    t = qm.tenants["A"]
+    assert t.scoped_key("scratch") == "A::scratch"
+    assert t.scoped_key("parquet:///data/p.parquet") == \
+        "parquet:///data/p.parquet"

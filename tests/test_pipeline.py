@@ -149,11 +149,11 @@ def test_prepare_dataset_gadget_writes_labels(tmp_path):
 
 def test_registry_covers_all_eight_artifact_apps():
     # The AD appendix's 8 applications (2x KMeans, 2x DBSCAN, 2x RF,
-    # 2x Gray-Scott).
+    # 2x Gray-Scott) plus the colocation antagonist.
     assert set(APP_REGISTRY) == {
         "mm_kmeans", "spark_kmeans", "mm_dbscan", "mpi_dbscan",
         "mm_random_forest", "spark_random_forest", "mm_gray_scott",
-        "mpi_gray_scott"}
+        "mpi_gray_scott", "mm_stream"}
 
 
 def test_cli_main(tmp_path, capsys):
@@ -220,7 +220,12 @@ def test_repo_pipelines_parse(tmp_path):
     assert len(files) >= 3
     for f in files:
         spec = load_yaml_subset(open(f, encoding="utf-8").read())
-        assert spec["app"]["kind"] in APP_REGISTRY, f
+        if "jobs" in spec:  # colocation spec: one app per tenant job
+            for job in spec["jobs"]:
+                assert job["app"]["kind"] in APP_REGISTRY, (
+                    f, job.get("name"))
+        else:
+            assert spec["app"]["kind"] in APP_REGISTRY, f
 
 
 # -- crash-safe trace export (PR 4 regression) ------------------------------
