@@ -19,7 +19,7 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence
 
-from repro.cluster import ClusterSpec, SimCluster
+from repro.cluster import ClusterSpec, ShardedCluster, SimCluster
 from repro.core.config import MegaMmapConfig
 from repro.storage.device import DeviceSpec
 from repro.storage.tiers import (DRAM, HDD, MB, NVME, PMEM, SATA_SSD,
@@ -70,6 +70,35 @@ def testbed(n_nodes=4, procs_per_node=2, dram_mb=NODE_DRAM_MB,
 
 
 testbed.__test__ = False  # a helper whose name pytest would collect
+
+
+def sharded_testbed(n_nodes, racks, procs_per_node=2,
+                    dram_mb=NODE_DRAM_MB, nvme_mb=NODE_NVME_MB,
+                    page_size=64 * 1024, pcache=512 * 1024,
+                    pfs_spec=None, pfs_servers=2, seed=0,
+                    **cfg) -> ShardedCluster:
+    """The scaled testbed in its rack-decomposed form.
+
+    ``racks`` splits the compute nodes into equal racks, each modeled
+    by its own simulator; ``run(app, *args, shards=N)`` distributes
+    the rack simulators over N worker processes (results identical at
+    every N). The per-node hardware matches :func:`testbed`.
+    """
+    tiers = [scaled(DRAM, dram_mb * MB)]
+    if nvme_mb:
+        tiers.append(scaled(NVME, nvme_mb * MB))
+    return ShardedCluster(
+        n_nodes=n_nodes, procs_per_node=procs_per_node, racks=racks,
+        tiers=tuple(tiers),
+        pfs_servers=pfs_servers,
+        pfs_spec=pfs_spec or scaled(HDD, 16 * 1024 * MB),
+        config=MegaMmapConfig(page_size=page_size, pcache_size=pcache,
+                              **cfg),
+        seed=seed,
+    )
+
+
+sharded_testbed.__test__ = False
 
 
 def export_trace(cluster: SimCluster, name: str) -> str:

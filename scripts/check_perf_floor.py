@@ -17,9 +17,10 @@ Usage::
 ``--match`` restricts the gate to floors whose metric name contains
 the substring — e.g. ``--match recovery`` lets the durability-smoke CI
 job enforce only the recovery floors without requiring the kernel
-benchmarks to have run in that job. ``--exclude`` is the complement:
-``--exclude colocation`` lets the otherwise-unfiltered bench-perf job
-skip the floor whose benchmark runs in the colocation-smoke job.
+benchmarks to have run in that job. ``--exclude`` is the complement
+and may repeat: ``--exclude colocation --exclude scaling`` lets the
+otherwise-unfiltered bench-perf job skip the floors whose benchmarks
+run in the colocation-smoke and scaling-smoke jobs.
 """
 
 from __future__ import annotations
@@ -55,9 +56,9 @@ def main(argv=None) -> int:
     ap.add_argument("--match", default="",
                     help="only enforce floors whose metric name "
                          "contains this substring")
-    ap.add_argument("--exclude", default="",
+    ap.add_argument("--exclude", action="append", default=[],
                     help="skip floors whose metric name contains "
-                         "this substring")
+                         "this substring (repeatable)")
     args = ap.parse_args(argv)
 
     with open(args.floors, encoding="utf-8") as fh:
@@ -69,7 +70,7 @@ def main(argv=None) -> int:
             return 1
     if args.exclude:
         floors = {m: f for m, f in floors.items()
-                  if args.exclude not in m}
+                  if not any(sub in m for sub in args.exclude)}
         if not floors:
             print(f"--exclude {args.exclude!r} leaves no floors",
                   file=sys.stderr)

@@ -62,10 +62,11 @@ class _BatchShard:
 class NodeRuntime:
     """One node's runtime process group."""
 
-    def __init__(self, system, node_id: int):
+    def __init__(self, system, node_id: int, active: bool = True):
         self.system = system
         self.node_id = node_id
         self.sim = system.sim
+        self.active = active
         cfg = system.config
         self.executor = ScacheExecutor(system, node_id)
         self.queue: Store = Store(self.sim, name=f"rt{node_id}.queue")
@@ -88,17 +89,25 @@ class NodeRuntime:
         # Little's law (L = lambda * W) from two sources.
         self._backlog_gauge = system.monitor.metrics.gauge(
             "rt_backlog", node=node_id)
-        self._procs = [self.sim.process(self._scheduler(),
-                                        name=f"rt{node_id}.sched")]
-        for i, store in enumerate(self._stores):
+        self._procs = []
+        if active:
             self._procs.append(self.sim.process(
-                self._worker(store), name=f"rt{node_id}.w{i}"))
-        self._procs.append(self.sim.process(
-            self._scaling_controller(), name=f"rt{node_id}.scale"))
+                self._scheduler(), name=f"rt{node_id}.sched"))
+            for i, store in enumerate(self._stores):
+                self._procs.append(self.sim.process(
+                    self._worker(store), name=f"rt{node_id}.w{i}"))
+            self._procs.append(self.sim.process(
+                self._scaling_controller(), name=f"rt{node_id}.scale"))
 
     # -- submission -----------------------------------------------------------
     def submit(self, task) -> None:
         """Enqueue a MemoryTask or BatchTask at this runtime."""
+        if not self.active:
+            from repro.core.errors import ShardBoundaryError
+            raise ShardBoundaryError(
+                f"task for node {self.node_id} submitted in a rack "
+                f"that does not own it (rack-scoped placement should "
+                f"make this unreachable)")
         self.inflight += 1
         task.submit_time = self.sim.now
         self._backlog_gauge.add(1)

@@ -194,6 +194,29 @@ class SeqTx(Transaction):
     def element(self, access_idx: int) -> int:
         return self.offset + access_idx
 
+    def get_pages(self, off: int, count: int) -> List[PageRegion]:
+        # Closed form for the contiguous case: one region per page
+        # spanned, no per-element walk. Byte-identical to the generic
+        # coalescing loop (runs break exactly at page boundaries).
+        vec = self.vector
+        count = max(0, min(count, self.count - off))
+        itemsize = vec.itemsize
+        epp = vec.elems_per_page
+        lo = self.offset + off
+        hi = lo + count
+        regions: List[PageRegion] = []
+        elem = lo
+        while elem < hi:
+            page = elem // epp
+            end = min(hi, (page + 1) * epp)
+            regions.append(PageRegion(
+                page_idx=page,
+                off=(elem - page * epp) * itemsize,
+                size=(end - elem) * itemsize,
+                modified=self.writes))
+            elem = end
+        return regions
+
 
 class StrideTx(Transaction):
     """Strided scan: element ``offset + i*stride`` for i in [0, count)."""
@@ -207,6 +230,27 @@ class StrideTx(Transaction):
 
     def element(self, access_idx: int) -> int:
         return self.offset + access_idx * self.stride
+
+    def get_pages(self, off: int, count: int) -> List[PageRegion]:
+        # stride != 1 never coalesces (consecutive accesses are never
+        # element-adjacent), so regions are one per access — computed
+        # in bulk instead of via per-element virtual calls. stride == 1
+        # degenerates to the sequential closed form.
+        vec = self.vector
+        count = max(0, min(count, self.count - off))
+        if count <= 0:
+            return []
+        if self.stride == 1:
+            return SeqTx.get_pages(self, off, count)
+        itemsize = vec.itemsize
+        epp = vec.elems_per_page
+        idx = self.offset + np.arange(off, off + count) * self.stride
+        pages = idx // epp
+        offs = (idx - pages * epp) * itemsize
+        writes = self.writes
+        return [PageRegion(page_idx=int(p), off=int(o), size=itemsize,
+                           modified=writes)
+                for p, o in zip(pages, offs)]
 
 
 class RandTx(Transaction):
@@ -252,6 +296,42 @@ class RandTx(Transaction):
                 return start + remaining
             remaining -= span
         raise TransactionError(f"access {access_idx} beyond region")
+
+    def get_pages(self, off: int, count: int) -> List[PageRegion]:
+        # Within a page the visit order is sequential, so the generic
+        # loop coalesces each page's in-range span into one region;
+        # walking the permutation directly produces the same list
+        # without the O(pages) ``element`` call per access.
+        vec = self.vector
+        count = max(0, min(count, self.count - off))
+        if count <= 0:
+            return []
+        if self._perm is None:
+            raise TransactionError("RandTx used before binding to a vector")
+        itemsize = vec.itemsize
+        epp = self._epp
+        lo, hi = self.offset, self.offset + self.size
+        end_access = off + count
+        regions: List[PageRegion] = []
+        pos = 0  # access index at the start of this page's span
+        for page in self._perm:
+            page = int(page)
+            start = max(lo, page * epp)
+            end = min(hi, (page + 1) * epp)
+            span = end - start
+            if pos + span > off:
+                a = max(off, pos)
+                b = min(end_access, pos + span)
+                elem = start + (a - pos)
+                regions.append(PageRegion(
+                    page_idx=page,
+                    off=(elem - page * epp) * itemsize,
+                    size=(b - a) * itemsize,
+                    modified=self.writes))
+            pos += span
+            if pos >= end_access:
+                break
+        return regions
 
     def may_retouch(self) -> bool:
         return True

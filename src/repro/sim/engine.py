@@ -32,10 +32,21 @@ heap without changing the processing order:
   as ``step()`` would) and keeps executing without returning to the
   scheduler. Chains of immediate events then run entirely inside one
   ``_resume`` call.
+* **Far-timer wheel** — delayed events whose horizon exceeds
+  ``wheel_threshold`` (service periods, long compute timeouts) bypass
+  the heap into a numpy-backed far store: an unsorted append-only
+  level above the heap. Entries are promoted back into the heap in
+  time-sliced cohorts (one vectorized mask + a batched heap insert)
+  the moment the far minimum could become the next pop, so the heap
+  stays small for the dense near-term traffic while far timers cost
+  O(1) amortized to park. Promotion re-inserts the original ``(time,
+  priority, seq)`` tuples, so the pop order — and therefore every
+  simulated result — is bit-for-bit identical to the heap-only kernel.
 
 ``MEGAMMAP_SLOW_KERNEL=1`` (or ``Simulator(fast=False)``) disables
-both paths, restoring the heap-only kernel — simulated results and
-timings are bit-for-bit identical either way; only wall-clock differs.
+all three paths, restoring the heap-only kernel — simulated results
+and timings are bit-for-bit identical either way; only wall-clock
+differs.
 """
 
 from __future__ import annotations
@@ -45,6 +56,8 @@ import os
 import random
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
+
+import numpy as np
 
 #: Priority for "urgent" events (process resumption) so that control
 #: transfer happens before same-time ordinary timeouts.
@@ -384,6 +397,20 @@ class Simulator:
     set to a non-empty value other than ``"0"``.
     """
 
+    #: Delays at or above this horizon park in the far wheel instead of
+    #: the heap; promotion pulls them back in ``WHEEL_SPAN``-wide
+    #: cohorts. Both are tuned to sit above the fabric's transfer
+    #: timescale (tens of µs) and at the service-period timescale (ms).
+    WHEEL_THRESHOLD = 1e-3
+    WHEEL_SPAN = 1e-3
+    #: The wheel only turns on once the heap holds this many entries:
+    #: parking exists to keep the near-term heap small under a large
+    #: long-horizon timer population (one service-timer pair per node
+    #: at 64 nodes), and is pure overhead when the heap is already
+    #: tiny — a couple of long timers ping-ponging through the wheel
+    #: would pay a promotion per pop for nothing.
+    WHEEL_MIN_HEAP = 32
+
     def __init__(self, fast: Optional[bool] = None):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
@@ -394,6 +421,17 @@ class Simulator:
         if fast is None:
             fast = os.environ.get("MEGAMMAP_SLOW_KERNEL", "") in ("", "0")
         self._fast = bool(fast)
+        #: Far-timer wheel: entries with ``delay >= _wheel_threshold``
+        #: park here unsorted (``_far_entries`` holds the exact heap
+        #: tuples) until promoted. ``_far_min`` is the running minimum
+        #: time; the kernel invariant is that the wheel minimum is
+        #: strictly above the heap head whenever the schedule is
+        #: consulted, so no wheel entry can ever be the next pop.
+        self._wheel_threshold = self.WHEEL_THRESHOLD if self._fast \
+            else float("inf")
+        self._far_entries: list[tuple[float, int, int, Event]] = []
+        self._far_n = 0
+        self._far_min = float("inf")
         #: Schedule perturbation (chaos testing): when armed via
         #: :meth:`enable_perturbation`, ties among same-``(time,
         #: priority)`` events are broken by a seeded random draw
@@ -416,6 +454,10 @@ class Simulator:
         #: as ``_seq - heap_events`` to keep the hot path increment-free.
         self.heap_events = 0
         self.trampolines = 0
+        #: Events that parked in the far wheel (subset of
+        #: ``heap_events`` — they still pay one batched heap insert at
+        #: promotion time).
+        self.wheel_events = 0
 
     @property
     def fast_events(self) -> int:
@@ -438,6 +480,27 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def call_at(self, when: float, fn: Callable[[Event], None],
+                priority: int = NORMAL) -> Event:
+        """Run ``fn(event)`` at absolute time ``when`` (>= now).
+
+        The shard coordinator uses this to inject cross-shard boundary
+        messages at their precomputed delivery time: the event is
+        scheduled through the ordinary ``(time, priority, seq)``
+        machinery, so calling ``call_at`` in canonical order for
+        same-time deliveries reproduces the single-kernel pop order
+        exactly.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"call_at({when}) lies in the past (now={self.now})")
+        evt = Event(self)
+        evt.callbacks = [fn]
+        evt._ok = True
+        evt._value = None
+        self._schedule(evt, priority, when - self.now)
+        return evt
+
     def enable_perturbation(self, seed: int) -> None:
         """Arm randomized tie-breaking among same-timestamp events.
 
@@ -457,9 +520,16 @@ class Simulator:
         # and tuple tie-break keys must never coexist in one heap (a
         # same-(time, priority) comparison between them would raise),
         # and the microqueue merge in step() compares heap keys
-        # against integer ``_qseq`` values.
+        # against integer ``_qseq`` values. The far wheel drains into
+        # the same re-keyed heap and stays disabled from here on.
         entries = [(t, p, (rng.random(), s), e)
                    for t, p, s, e in self._heap]
+        entries.extend((t, p, (rng.random(), s), e)
+                       for t, p, s, e in self._far_entries[:self._far_n])
+        self._wheel_threshold = float("inf")
+        self._far_entries = []
+        self._far_n = 0
+        self._far_min = float("inf")
         for prio, q in ((URGENT, self._imm_urgent),
                         (NORMAL, self._imm_normal)):
             while q:
@@ -495,14 +565,63 @@ class Simulator:
                 event._qseq = seq
                 self._imm_normal.append(event)
                 return
+        if delay >= self._wheel_threshold and (
+                self._far_n or len(self._heap) >= self.WHEEL_MIN_HEAP):
+            self._far_push(self.now + delay, priority, seq, event)
+            return
         heapq.heappush(self._heap, (self.now + delay, priority, seq, event))
         self.heap_events += 1
+
+    def _far_push(self, when: float, priority: int, seq: int,
+                  event: Event) -> None:
+        """Park a long-horizon entry in the far wheel (O(1))."""
+        self._far_entries.append((when, priority, seq, event))
+        self._far_n += 1
+        if when < self._far_min:
+            self._far_min = when
+        self.heap_events += 1
+        self.wheel_events += 1
+
+    def _promote_far(self) -> None:
+        """Move the next time-slice of far entries into the heap.
+
+        Promotes every entry within ``WHEEL_SPAN`` of the far minimum,
+        re-inserting the original ``(time, priority, seq, event)``
+        tuples so heap order is exactly what it would have been
+        without the wheel. Small far sets scan in Python; large ones
+        (the 64-node service-timer population) use one vectorized
+        numpy mask over the parked times. Postcondition: the heap head
+        is at or below every remaining far entry, so no wheel entry
+        can be the next pop.
+        """
+        n = self._far_n
+        cutoff = self._far_min + self.WHEEL_SPAN
+        entries = self._far_entries
+        heap = self._heap
+        heappush = heapq.heappush
+        if n <= 64:
+            kept = [e for e in entries if e[0] > cutoff]
+            for e in entries:
+                if e[0] <= cutoff:
+                    heappush(heap, e)
+        else:
+            t = np.fromiter((e[0] for e in entries), np.float64, n)
+            keep = np.nonzero(t > cutoff)[0]
+            heap.extend(entries[i] for i in np.nonzero(t <= cutoff)[0])
+            heapq.heapify(heap)
+            kept = [entries[i] for i in keep]
+        self._far_entries = kept
+        self._far_n = len(kept)
+        self._far_min = min((e[0] for e in kept), default=float("inf"))
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` when nothing is scheduled."""
         if self._imm_urgent or self._imm_normal:
             return self.now
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        if self._far_n and (not heap or self._far_min <= heap[0][0]):
+            self._promote_far()
+        return heap[0][0] if heap else float("inf")
 
     def step(self) -> None:
         """Pop and process a single event.
@@ -528,7 +647,9 @@ class Simulator:
                     event = heapq.heappop(heap)[3]
             if event is None:
                 event = q.popleft()
-        elif heap:
+        elif heap or self._far_n:
+            if self._far_n and (not heap or self._far_min <= heap[0][0]):
+                self._promote_far()
             when, _prio, _seq, event = heapq.heappop(heap)
             if when < self.now:  # pragma: no cover - defensive
                 raise SimulationError("time went backwards")
@@ -554,6 +675,75 @@ class Simulator:
             # than letting the simulation silently continue.
             raise event._value
 
+    def _run_cohorts(self, stop_evt: Optional[Event]) -> None:
+        """Deadline-free dispatch loop: :meth:`step`'s body inlined.
+
+        With no deadline there is nothing to ``peek()`` for between
+        events, so same-timestamp cohorts (the microqueue runs that
+        dominate a MegaMmap schedule) dispatch back-to-back in one
+        pass — same pop order as repeated ``step()`` calls, minus a
+        Python frame and a ``peek()`` per event.
+        """
+        heap = self._heap
+        iu = self._imm_urgent
+        inm = self._imm_normal
+        heappop = heapq.heappop
+        while iu or inm or heap or self._far_n:
+            if stop_evt is not None and stop_evt.processed:
+                return
+            q = iu
+            prio = URGENT
+            if not q:
+                q = inm
+                prio = NORMAL
+            event: Optional[Event] = None
+            if q:
+                if heap:
+                    h = heap[0]
+                    if h[0] == self.now and (
+                            h[1] < prio
+                            or (h[1] == prio and h[2] < q[0]._qseq)):
+                        event = heappop(heap)[3]
+                if event is None:
+                    event = q.popleft()
+            else:
+                if self._far_n and (not heap
+                                    or self._far_min <= heap[0][0]):
+                    self._promote_far()
+                when, _prio, _seq, event = heappop(heap)
+                self.now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                if len(callbacks) == 1:
+                    self._tail = True
+                    callbacks[0](event)
+                    self._tail = False
+                else:
+                    for cb in callbacks:
+                        cb(event)
+            event.processed = True
+            if not event._ok and not callbacks:
+                raise event._value
+
+    def run_window(self, horizon: float) -> int:
+        """Process every event strictly before ``horizon``; return the
+        count.
+
+        The conservative-window primitive for sharded execution: a
+        shard runs its local schedule up to (not including) the window
+        horizon, after which boundary messages for the next window can
+        be injected with :meth:`call_at` — all of them land at or past
+        the horizon, so nothing already processed could have depended
+        on them. ``now`` is left at the last processed event (time only
+        advances by popping, exactly as in the single kernel).
+        """
+        count = 0
+        while self.peek() < horizon:
+            self.step()
+            count += 1
+        return count
+
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the schedule drains, a deadline passes, or an event
         fires.
@@ -577,13 +767,17 @@ class Simulator:
         prev_stop = self._stop
         self._stop = stop_evt
         try:
-            while self._heap or self._imm_urgent or self._imm_normal:
-                if stop_evt is not None and stop_evt.processed:
-                    break
-                if self.peek() > deadline:
-                    self.now = deadline
-                    return None
-                self.step()
+            if deadline == float("inf"):
+                self._run_cohorts(stop_evt)
+            else:
+                while self._heap or self._imm_urgent or self._imm_normal \
+                        or self._far_n:
+                    if stop_evt is not None and stop_evt.processed:
+                        break
+                    if self.peek() > deadline:
+                        self.now = deadline
+                        return None
+                    self.step()
         finally:
             self._stop = prev_stop
         if stop_evt is not None:

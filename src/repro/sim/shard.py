@@ -1,0 +1,263 @@
+"""Conservative time-window parallel simulation across shards.
+
+The sharded execution model (DESIGN.md, "Sharded simulation") splits a
+rack-decomposed cluster into one :class:`~repro.sim.engine.Simulator`
+per rack. Racks couple *only* through fabric messages that take at
+least the inter-rack wire latency to arrive, so every rack can run
+freely through the window ``[T, T + W)`` — ``T`` the global minimum
+next-event time, ``W`` the lookahead (minimum cross-rack message
+latency) — without ever missing a remote message: a message exported
+at time ``t >= T`` is delivered at ``t + d`` with ``d >= W``, which is
+at or past the window horizon.
+
+At each window barrier the coordinator gathers every rack's exports,
+sorts them into the canonical ``(delivery time, source rack, export
+seq)`` order, and injects them into the destination simulators before
+the next window runs. Injection uses the ordinary ``(time, priority,
+seq)`` scheduling machinery, so a given rack processes an identical
+event sequence whether the racks run in one OS process (the
+*sequential* driver) or spread across ``multiprocessing`` workers (the
+*parallel* driver) — results are bit-for-bit identical at every shard
+count, which the equivalence suite pins.
+
+The drivers are generic over *handles*: any object with ``peek()``,
+``inject(msgs)``, ``run_window(horizon)``, ``drain_exports()``,
+``done()`` and ``finish()`` (see :class:`repro.cluster.RackHandle`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+
+
+class BoundaryMsg(NamedTuple):
+    """One cross-rack message crossing a shard boundary.
+
+    ``time`` is the absolute delivery time at the destination (NIC
+    acquire + wire time, computed on the sender); ``seq`` is the
+    sender rack's export counter — together with ``src_rack`` it makes
+    the canonical injection order total and grouping-invariant.
+    ``key`` addresses the destination mailbox ``(comm_id, world
+    rank)``; ``payload`` is the delivered object.
+    """
+
+    time: float
+    src_rack: int
+    seq: int
+    dst_rack: int
+    key: tuple
+    payload: object
+
+
+class ShardBoundary:
+    """Per-rack outbox for messages leaving the local rack.
+
+    Attached to the rack's :class:`~repro.net.fabric.Network`; the MPI
+    transport routes cross-rack sends here (at NIC-acquire time, which
+    keeps the delivery at least one lookahead ahead of anything the
+    local window can still process).
+    """
+
+    def __init__(self, rack_id: int, node_lo: int, node_hi: int,
+                 rack_size: int):
+        self.rack_id = rack_id
+        self.node_lo = node_lo
+        self.node_hi = node_hi
+        self.rack_size = rack_size
+        self._seq = 0
+        self._outbox: List[BoundaryMsg] = []
+
+    def local_node(self, node: int) -> bool:
+        return self.node_lo <= node < self.node_hi
+
+    def export(self, time: float, dst_node: int, key: tuple,
+               payload: object) -> None:
+        """Queue a message for injection at the window barrier."""
+        self._outbox.append(BoundaryMsg(
+            time, self.rack_id, self._seq, dst_node // self.rack_size,
+            key, payload))
+        self._seq += 1
+
+    def drain(self) -> List[BoundaryMsg]:
+        out = self._outbox
+        self._outbox = []
+        return out
+
+
+def partition_nodes(n_nodes: int, racks: int) -> List[range]:
+    """Contiguous node ranges, one per rack."""
+    if racks < 1 or n_nodes % racks:
+        raise ValueError(
+            f"{racks} racks do not evenly partition {n_nodes} nodes")
+    size = n_nodes // racks
+    return [range(r * size, (r + 1) * size) for r in range(racks)]
+
+
+#: One rack's barrier report: (next event time, exports, app done).
+Report = tuple
+
+
+def _plan_window(reports: Dict[int, Report], lookahead: float):
+    """One coordinator decision: the next horizon and the injections.
+
+    Returns ``None`` to stop (every rack's application is done and the
+    final round produced no exports), else ``(horizon, inject)`` with
+    ``inject`` mapping rack id -> canonically ordered messages.
+    Deterministic in the *set* of reports — dict order never matters.
+    """
+    exports: List[BoundaryMsg] = []
+    for _next_t, rack_exports, _done in reports.values():
+        exports.extend(rack_exports)
+    if not exports and all(done for _t, _e, done in reports.values()):
+        return None
+    t_min = min(next_t for next_t, _e, _d in reports.values())
+    if exports:
+        t_min = min(t_min, min(m.time for m in exports))
+    if t_min == float("inf"):
+        return None  # nothing scheduled anywhere (defensive)
+    inject: Dict[int, List[BoundaryMsg]] = {}
+    for msg in sorted(exports, key=lambda m: (m.time, m.src_rack,
+                                              m.seq)):
+        inject.setdefault(msg.dst_rack, []).append(msg)
+    return t_min + lookahead, inject
+
+
+def _window_round(handles: Dict[int, object], horizon: float,
+                  inject: Dict[int, List[BoundaryMsg]]):
+    """Inject and run one window for a group of racks; return their
+    reports. Rack order is irrelevant — the simulators share nothing
+    between barriers."""
+    reports: Dict[int, Report] = {}
+    for rid in sorted(handles):
+        h = handles[rid]
+        h.inject(inject.get(rid, ()))
+        h.run_window(horizon)
+        reports[rid] = (h.peek(), h.drain_exports(), h.done())
+    return reports
+
+
+def run_windows(handles: Dict[int, object], lookahead: float) -> dict:
+    """Sequential driver: every rack simulator in this process.
+
+    Runs the identical barrier protocol as the parallel driver (same
+    horizons, same canonical injections), so its results are the
+    bit-for-bit reference for any worker count. Returns
+    ``{rack_id: handle.finish()}``.
+    """
+    if lookahead <= 0:
+        raise ValueError(f"lookahead must be positive, got {lookahead}")
+    reports = {rid: (h.peek(), h.drain_exports(), h.done())
+               for rid, h in sorted(handles.items())}
+    while True:
+        plan = _plan_window(reports, lookahead)
+        if plan is None:
+            break
+        horizon, inject = plan
+        reports = _window_round(handles, horizon, inject)
+    return {rid: handles[rid].finish() for rid in sorted(handles)}
+
+
+def _shard_worker(conn, rack_ids: Sequence[int],
+                  build: Callable[[int], object]) -> None:
+    """Worker process: owns a group of rack simulators.
+
+    Speaks a tiny pipe protocol with the coordinator:
+    ``("window", horizon, inject)`` -> ``("report", {rid: report})``,
+    then ``("stop",)`` -> ``("result", {rid: finish()})``. Any
+    exception is shipped back as ``("error", traceback)``.
+    """
+    try:
+        handles = {rid: build(rid) for rid in rack_ids}
+        conn.send(("report", {
+            rid: (h.peek(), h.drain_exports(), h.done())
+            for rid, h in sorted(handles.items())}))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            _tag, horizon, inject = msg
+            conn.send(("report", _window_round(handles, horizon,
+                                               inject)))
+        conn.send(("result", {rid: handles[rid].finish()
+                              for rid in sorted(handles)}))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker died; carries its formatted traceback."""
+
+
+def run_windows_parallel(rack_ids: Sequence[int], shards: int,
+                         build: Callable[[int], object],
+                         lookahead: float,
+                         mp_context: Optional[str] = None) -> dict:
+    """Parallel driver: racks grouped onto ``shards`` worker processes.
+
+    ``build(rack_id)`` runs *inside* the worker (fork start method, so
+    closures carry over without pickling); only window-barrier traffic
+    crosses the pipes. Returns ``{rack_id: finish()}`` — bit-for-bit
+    identical to :func:`run_windows` over the same racks.
+    """
+    if lookahead <= 0:
+        raise ValueError(f"lookahead must be positive, got {lookahead}")
+    rack_ids = list(rack_ids)
+    if shards < 1 or len(rack_ids) % shards:
+        raise ValueError(
+            f"{shards} shards do not evenly split {len(rack_ids)} racks")
+    per = len(rack_ids) // shards
+    groups = [rack_ids[w * per:(w + 1) * per] for w in range(shards)]
+    ctx = multiprocessing.get_context(mp_context or "fork")
+    workers = []
+    try:
+        for group in groups:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_shard_worker,
+                               args=(child_conn, group, build),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            workers.append((parent_conn, proc))
+
+        def gather(expect: str) -> dict:
+            merged: dict = {}
+            for conn, _proc in workers:
+                tag, payload = conn.recv()
+                if tag == "error":
+                    raise ShardWorkerError(payload)
+                if tag != expect:  # pragma: no cover - protocol bug
+                    raise ShardWorkerError(
+                        f"expected {expect!r}, got {tag!r}")
+                merged.update(payload)
+            return merged
+
+        reports = gather("report")
+        while True:
+            plan = _plan_window(reports, lookahead)
+            if plan is None:
+                break
+            horizon, inject = plan
+            for (conn, _proc), group in zip(workers, groups):
+                conn.send(("window", horizon,
+                           {rid: inject[rid] for rid in group
+                            if rid in inject}))
+            reports = gather("report")
+        for conn, _proc in workers:
+            conn.send(("stop",))
+        results = gather("result")
+        for conn, proc in workers:
+            conn.close()
+            proc.join(timeout=60)
+        return results
+    finally:
+        for _conn, proc in workers:
+            if proc.is_alive():  # pragma: no cover - error cleanup
+                proc.terminate()
+                proc.join(timeout=5)
