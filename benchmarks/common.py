@@ -44,7 +44,10 @@ def testbed(n_nodes=4, procs_per_node=2, dram_mb=NODE_DRAM_MB,
     ``trace=True`` enables span tracing on the cluster (see
     :mod:`repro.sim.trace`); the default defers to the
     ``MEGAMMAP_TRACE`` environment variable so any benchmark can be
-    rerun with tracing without editing it.
+    rerun with tracing without editing it. ``MEGAMMAP_TRACE=sample``
+    enables the always-on sampled mode instead: tail-based retention
+    at a 10% head rate (unless the benchmark already pins
+    ``trace_sample_rate``).
     """
     tiers = [scaled(DRAM, dram_mb * MB)]
     if pmem_mb:
@@ -55,8 +58,11 @@ def testbed(n_nodes=4, procs_per_node=2, dram_mb=NODE_DRAM_MB,
         tiers.append(scaled(SATA_SSD, ssd_mb * MB))
     if hdd_mb:
         tiers.append(scaled(HDD, hdd_mb * MB))
+    env_trace = os.environ.get("MEGAMMAP_TRACE", "")
+    if env_trace == "sample" and "trace_sample_rate" not in cfg:
+        cfg["trace_sample_rate"] = 0.1
     if trace is None:
-        trace = os.environ.get("MEGAMMAP_TRACE", "") not in ("", "0")
+        trace = env_trace not in ("", "0")
     return SimCluster(
         n_nodes=n_nodes, procs_per_node=procs_per_node,
         tiers=tuple(tiers),

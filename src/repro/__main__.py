@@ -6,6 +6,8 @@
     python -m repro diff A.trace.json B.trace.json [--json]
     python -m repro chaos pipelines/chaos_kmeans_2n.yaml --seeds 25
     python -m repro colocate pipelines/colocate_mixed.yaml
+    python -m repro top pipelines/colocate_mixed.yaml
+    python -m repro slo pipelines/colocate_mixed.yaml --slos slos.yaml
 
 Mirrors the artifact's ``jarvis ppl run yaml /path/to/workflow.yaml``;
 the ``trace`` subcommand additionally records latency spans and writes
@@ -17,8 +19,13 @@ a pipeline with tracing on) or post-hoc (from a trace JSON file).
 categories account for the runtime delta. ``chaos`` runs seeded
 fault-injection campaigns with the coherence model-checker attached,
 shrinks the first failing seed's fault schedule to a minimal repro,
-and writes a replay file. The bare form ``python -m repro <file.yaml>``
-is kept as an alias for ``run``.
+and writes a replay file. ``top`` runs a pipeline or colocation spec
+with the live observability plane attached and prints the final
+windowed dashboard (rates, gauges, latency quantiles, firing alerts,
+anomalies); ``slo`` additionally evaluates declarative SLOs with
+burn-rate alerting and exits 1 when any objective is violated. The
+bare form ``python -m repro <file.yaml>`` is kept as an alias for
+``run``.
 """
 
 from __future__ import annotations
@@ -31,7 +38,8 @@ import tempfile
 
 from repro.pipeline import run_pipeline
 
-_SUBCOMMANDS = ("run", "trace", "report", "diff", "chaos", "colocate")
+_SUBCOMMANDS = ("run", "trace", "report", "diff", "chaos", "colocate",
+                "top", "slo")
 
 
 def _print_rows(rows) -> None:
@@ -130,8 +138,9 @@ def _cmd_diff(args) -> int:
 
 def _cmd_chaos(args) -> int:
     from repro.chaos import ChaosPlan
-    from repro.chaos.campaign import (run_campaign, run_case,
-                                      shrink_case, write_replay)
+    from repro.chaos.campaign import (detection_stats, run_campaign,
+                                      run_case, shrink_case,
+                                      write_replay)
     workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-chaos-")
     if args.faults is not None:
         kinds = tuple(k.strip() for k in args.faults.split(",")
@@ -174,10 +183,22 @@ def _cmd_chaos(args) -> int:
                            intensity=args.intensity,
                            perturb=args.perturb,
                            horizon=args.horizon, workdir=workdir,
-                           log=log)
+                           log=log, obs=args.obs)
     bad = [r for r in results if not r.ok]
     log(f"campaign: {len(results) - len(bad)}/{len(results)} seeds "
         f"clean")
+    if args.obs:
+        stats = detection_stats(results)
+        log("detection latency by fault kind "
+            "(first anomaly/alert at or after onset):")
+        for kind in sorted(stats):
+            row = stats[kind]
+            if row["detected"]:
+                log(f"  {kind:<10} {row['detected']}/{row['faults']} "
+                    f"detected, mean {row['mean_s'] * 1e3:.2f} ms, "
+                    f"max {row['max_s'] * 1e3:.2f} ms")
+            else:
+                log(f"  {kind:<10} 0/{row['faults']} detected")
     if not bad:
         return 0
     first = bad[0]
@@ -199,6 +220,225 @@ def _cmd_chaos(args) -> int:
     write_replay(out, first, minimal)
     log(f"replay file written to {os.path.abspath(out)}")
     return 1
+
+
+def _is_colocation_spec(path: str) -> bool:
+    from repro.core.config import load_yaml_subset
+    with open(path, encoding="utf-8") as fh:
+        spec = load_yaml_subset(fh.read())
+    return isinstance(spec, dict) and "jobs" in spec
+
+
+def _run_with_obs(args, workdir, slos=None):
+    """Run the target (pipeline or colocation spec) with the live
+    observability plane attached; returns ``[(title, obs, result)]``
+    where ``result`` is the ColocationResult or the pipeline row."""
+    from repro.obs import LiveObs, SLOMonitor
+    from repro.obs.anomaly import attach_detectors, standard_detectors
+    window = getattr(args, "window", None)
+    out = []
+    if _is_colocation_spec(args.target):
+        from repro.tenancy import run_colocation
+
+        def hook(cluster):
+            out.append((os.path.basename(args.target),
+                        LiveObs.attach(cluster, window=window), None))
+
+        result = run_colocation(args.target, workdir=workdir,
+                                on_cluster=hook, slos=slos)
+        out[:] = [(t, o, result) for t, o, _r in out]
+    else:
+        def hook(cluster, variant):
+            obs = LiveObs.attach(cluster, window=window)
+            if slos:
+                SLOMonitor(obs, slos)
+            attach_detectors(obs, standard_detectors(
+                n_nodes=cluster.spec.n_nodes))
+            out.append((variant.get("name", "run"), obs, None))
+
+        run_pipeline(args.target, workdir=workdir, on_cluster=hook)
+    return out
+
+
+def _fmt_series(name: str, labels) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _render_top(title: str, obs, limit: int) -> str:
+    store = obs.store
+    now = store.last_tick
+    lines = [f"== top: {title} @ t={now:.3f}s  "
+             f"(window {store.window * 1e3:g} ms x {store.retention}, "
+             f"{obs.ticks} ticks) =="]
+
+    counters = sorted(
+        ((store.delta(name, ls), name, ls)
+         for name, ls in store.counters), reverse=True)[:limit]
+    if counters:
+        lines.append("-- counters (retained window) --")
+        width = max(len(_fmt_series(n, ls)) for _d, n, ls in counters)
+        for delta, name, ls in counters:
+            lines.append(f"  {_fmt_series(name, ls).ljust(width)}  "
+                         f"+{delta:.6g}  "
+                         f"({store.rate(name, ls):.6g}/s)")
+
+    gauges = sorted(store.gauges)[:limit]
+    if gauges:
+        lines.append("-- gauges (last sample) --")
+        width = max(len(_fmt_series(n, ls)) for n, ls in gauges)
+        for name, ls in gauges:
+            lines.append(f"  {_fmt_series(name, ls).ljust(width)}  "
+                         f"{store.gauge_last(name, ls):.6g}")
+
+    hists = []
+    for name, ls in sorted(store.histograms):
+        stats = store.window_stats(name, ls)
+        if stats is not None and stats.count:
+            hists.append((stats.count, name, ls, stats))
+    hists.sort(reverse=True, key=lambda h: (h[0], h[1]))
+    if hists:
+        lines.append("-- latencies (retained window, ms) --")
+        width = max(len(_fmt_series(n, ls))
+                    for _c, n, ls, _s in hists[:limit])
+        for count, name, ls, stats in hists[:limit]:
+            p50 = stats.sketch.quantile(50) * 1e3
+            p99 = stats.sketch.quantile(99) * 1e3
+            lines.append(f"  {_fmt_series(name, ls).ljust(width)}  "
+                         f"n={count:<6d} mean={stats.mean * 1e3:.4g} "
+                         f"p50={p50:.4g} p99={p99:.4g}")
+
+    if obs.slo is not None and obs.slo.history:
+        lines.append("-- alerts --")
+        for alert in obs.slo.history:
+            state = ("firing" if alert.firing else
+                     f"resolved at {alert.resolved_at:.3f}s")
+            lines.append(f"  {alert.slo}: fired at "
+                         f"{alert.fired_at:.3f}s, {state} "
+                         f"(burn fast {alert.fast_burn:.2f}x / "
+                         f"slow {alert.slow_burn:.2f}x)")
+
+    if obs.events:
+        lines.append("-- anomalies --")
+        for e in obs.events[-limit:]:
+            lines.append(f"  t={e['t']:.3f}s {e['detector']} "
+                         f"{e['direction']} z={e['zscore']:.1f} "
+                         f"value={e['value']:.6g}")
+    return "\n".join(lines)
+
+
+def _top_json(obs) -> dict:
+    store = obs.store
+    doc = {"t": store.last_tick, "ticks": obs.ticks,
+           "window_s": store.window, "retention": store.retention,
+           "counters": {}, "gauges": {}, "histograms": {},
+           "anomalies": list(obs.events)}
+    for name, ls in sorted(store.counters):
+        doc["counters"][_fmt_series(name, ls)] = {
+            "delta": store.delta(name, ls),
+            "rate": store.rate(name, ls)}
+    for name, ls in sorted(store.gauges):
+        doc["gauges"][_fmt_series(name, ls)] = store.gauge_last(name, ls)
+    for name, ls in sorted(store.histograms):
+        stats = store.window_stats(name, ls)
+        if stats is None or not stats.count:
+            continue
+        doc["histograms"][_fmt_series(name, ls)] = {
+            "count": stats.count, "mean": stats.mean,
+            "p50": stats.sketch.quantile(50),
+            "p99": stats.sketch.quantile(99)}
+    if obs.slo is not None:
+        doc["alerts"] = [a.to_dict() for a in obs.slo.history]
+    return doc
+
+
+def _cmd_top(args) -> int:
+    workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-top-")
+    runs = _run_with_obs(args, workdir)
+    if not runs:
+        print("run produced no output", file=sys.stderr)
+        return 1
+    if args.json:
+        payload = [_top_json(obs) for _t, obs, _r in runs]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2))
+    else:
+        for i, (title, obs, _result) in enumerate(runs):
+            if i:
+                print()
+            print(_render_top(title, obs, args.limit))
+    return 0
+
+
+def _render_slo(title: str, report: dict) -> str:
+    lines = [f"== slo: {title} @ t={report['t']:.3f}s =="]
+    rows = report["slos"]
+    if rows:
+        cols = ("name", "tenant", "objective", "target", "compliance",
+                "samples", "alerts", "ok")
+
+        def cell(s, col):
+            if col == "alerts":
+                return str(len(s["alerts"]))
+            if col == "ok":
+                return "ok" if s["ok"] else "VIOLATED"
+            v = s.get(col)
+            if isinstance(v, float):
+                return f"{v:.4f}" if col == "compliance" else f"{v:g}"
+            return str(v if v is not None else "-")
+
+        table = [[cell(s, c) for c in cols] for s in rows]
+        widths = [max(len(c), *(len(r[i]) for r in table))
+                  for i, c in enumerate(cols)]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+        for r in table:
+            lines.append("  ".join(v.ljust(w)
+                                   for v, w in zip(r, widths)))
+    for alert in report["alerts"]:
+        state = ("still firing" if alert["resolved_at"] is None else
+                 f"resolved at {alert['resolved_at']:.3f}s")
+        lines.append(f"  alert {alert['slo']}: fired at "
+                     f"{alert['fired_at']:.3f}s, {state}")
+    n = len(report["slos"])
+    lines.append(f"{n - report['violations']}/{n} SLOs met"
+                 + (f", {report['violations']} violated"
+                    if report["violations"] else ""))
+    return "\n".join(lines)
+
+
+def _cmd_slo(args) -> int:
+    from repro.obs import load_slos
+    extra = load_slos(args.slos) if args.slos else []
+    workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-slo-")
+    if not extra and not _is_colocation_spec(args.target):
+        print("error: pipeline targets need --slos <spec.yaml>",
+              file=sys.stderr)
+        return 2
+    runs = _run_with_obs(args, workdir, slos=extra)
+    if not runs:
+        print("run produced no output", file=sys.stderr)
+        return 1
+    reports = []
+    for title, obs, _result in runs:
+        if obs.slo is None:
+            print(f"error: no SLOs attached for {title} (use --slos "
+                  f"or embed 'slos:'/per-job 'slo:' blocks in the "
+                  f"spec)", file=sys.stderr)
+            return 2
+        reports.append((title, obs.slo.report()))
+    if args.json:
+        payload = [r for _t, r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2))
+    else:
+        for i, (title, report) in enumerate(reports):
+            if i:
+                print()
+            print(_render_slo(title, report))
+    violations = sum(r["violations"] for _t, r in reports)
+    return 1 if violations else 0
 
 
 def _cmd_colocate(args) -> int:
@@ -308,6 +548,10 @@ def main(argv=None) -> int:
     p_chaos.add_argument("--perturb", action="store_true",
                          help="also randomize same-timestamp event "
                               "ordering (seeded)")
+    p_chaos.add_argument("--obs", action="store_true",
+                         help="attach the live observability plane to "
+                              "every case and report per-fault-kind "
+                              "detection latency")
     p_chaos.add_argument("--workdir", default=None,
                          help="directory for datasets + replay files")
     p_chaos.add_argument("--out", default=None,
@@ -330,6 +574,44 @@ def main(argv=None) -> int:
                         help="also print the admission/reallocation "
                              "decision log")
 
+    p_top = sub.add_parser(
+        "top",
+        help="run a pipeline or colocation spec with the live "
+             "observability plane attached and print the windowed "
+             "dashboard: counter rates, gauges, latency quantiles, "
+             "alerts, anomalies")
+    p_top.add_argument("target",
+                       help="pipeline YAML or colocation spec")
+    p_top.add_argument("--workdir", default=None,
+                       help="directory for datasets + stats (default: "
+                            "a fresh temp directory)")
+    p_top.add_argument("--window", type=float, default=None,
+                       help="obs window in simulated seconds "
+                            "(default: the config's obs_window)")
+    p_top.add_argument("--limit", type=int, default=12,
+                       help="max rows per dashboard section")
+    p_top.add_argument("--json", action="store_true",
+                       help="print the dashboard as JSON")
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="run a pipeline or colocation spec under declarative "
+             "SLOs with burn-rate alerting; prints compliance and "
+             "exits 1 when any objective is violated")
+    p_slo.add_argument("target",
+                       help="pipeline YAML or colocation spec")
+    p_slo.add_argument("--slos", default=None,
+                       help="SLO spec YAML (a 'slos:' list); merged "
+                            "with SLOs embedded in a colocation spec")
+    p_slo.add_argument("--workdir", default=None,
+                       help="directory for datasets + stats (default: "
+                            "a fresh temp directory)")
+    p_slo.add_argument("--window", type=float, default=None,
+                       help="obs window in simulated seconds "
+                            "(default: the config's obs_window)")
+    p_slo.add_argument("--json", action="store_true",
+                       help="print the report as JSON")
+
     args = parser.parse_args(argv)
     if args.command == "diff":
         for path in (args.a, args.b):
@@ -337,7 +619,7 @@ def main(argv=None) -> int:
                 print(f"error: file not found: {path}", file=sys.stderr)
                 return 2
         return _cmd_diff(args)
-    if args.command == "report":
+    if args.command in ("report", "top", "slo"):
         target = args.target
     elif args.command == "colocate":
         target = args.spec
@@ -346,12 +628,20 @@ def main(argv=None) -> int:
     if not os.path.exists(target):
         print(f"error: file not found: {target}", file=sys.stderr)
         return 2
+    if args.command == "slo" and args.slos \
+            and not os.path.exists(args.slos):
+        print(f"error: file not found: {args.slos}", file=sys.stderr)
+        return 2
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "colocate":
         return _cmd_colocate(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "slo":
+        return _cmd_slo(args)
 
     workdir = args.workdir or tempfile.mkdtemp(prefix="megammap-ppl-")
     trace_path = None

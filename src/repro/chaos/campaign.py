@@ -36,11 +36,22 @@ class CaseResult:
     faults_applied: int = 0
     faults_skipped: int = 0
     runtime_s: float = 0.0
+    #: One row per applied fault when the case ran with ``obs=True``:
+    #: ``{"kind", "t_fault", "t_detect", "detection_s", "signal"}``
+    #: (``t_detect``/``detection_s``/``signal`` None if nothing fired).
+    detections: List[dict] = field(default_factory=list)
+    obs_anomalies: int = 0
+    obs_alerts: int = 0
 
     @property
     def ok(self) -> bool:
         return (not self.violations and not self.conservation
                 and self.error is None)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for d in self.detections
+                   if d["detection_s"] is not None)
 
     def summary(self) -> str:
         n = len(self.plan.faults) if self.plan is not None else 0
@@ -49,6 +60,9 @@ class CaseResult:
                  f"{self.faults_applied}/{n} faults applied",
                  f"{self.checked_reads} reads checked",
                  f"trace {self.trace_hash[:12]}"]
+        if self.detections:
+            parts.append(f"{self.detected}/{len(self.detections)} "
+                         f"faults detected")
         if self.violations:
             parts.append(f"{len(self.violations)} violations")
         if self.conservation:
@@ -58,12 +72,73 @@ class CaseResult:
         return "; ".join(parts)
 
 
+def _attach_case_obs(cluster, slos, obs_window: Optional[float],
+                     threshold: float, warmup: int):
+    """Install the live observability plane on a chaos case's cluster.
+
+    The stock detector bank (backlog spike, WAL growth, realloc
+    thrash) is the pipeline-shaped subset — chaos cases have no
+    tenants — plus, when the cluster traces, a detector on the
+    windowed p99 of network spans: partitions, delay/drop jitter and
+    stalls all surface there first.
+    """
+    from repro.obs import LiveObs
+    from repro.obs.anomaly import (EwmaMadDetector, attach_detectors,
+                                   standard_detectors)
+    live = LiveObs.attach(cluster, window=obs_window)
+    if slos:
+        from repro.obs.slo import SLOMonitor
+        SLOMonitor(live, list(slos))
+    n_nodes = len(cluster.system.dmshs)
+    dets = standard_detectors(n_nodes=n_nodes, threshold=threshold,
+                              warmup=warmup)
+    tracer = cluster.tracer
+    if tracer is not None and tracer.enabled:
+        def net_p99(store, _now):
+            stats = store.window_stats("trace.net", (), store.window)
+            if stats is None or not stats.count:
+                return None
+            return stats.sketch.quantile(0.99)
+        dets.append(EwmaMadDetector(
+            "net_p99", "trace.net", net_p99, threshold=threshold,
+            warmup=warmup, direction="up"))
+    attach_detectors(live, dets)
+    return live
+
+
+def _detection_rows(live, injector) -> List[dict]:
+    """First obs signal (anomaly event or SLO alert fire) at or after
+    each applied fault's onset → per-fault detection latency."""
+    signals = [(e["t"], f"anomaly:{e['detector']}")
+               for e in live.events]
+    if live.slo is not None:
+        signals += [(a.fired_at, f"alert:{a.slo}")
+                    for a in live.slo.history]
+    signals.sort()
+    rows = []
+    for kind, t, _desc in injector.applied:
+        if kind == "restart":
+            continue
+        hit = next(((ts, sig) for ts, sig in signals if ts >= t), None)
+        rows.append({
+            "kind": kind, "t_fault": t,
+            "t_detect": hit[0] if hit else None,
+            "detection_s": (hit[0] - t) if hit else None,
+            "signal": hit[1] if hit else None,
+        })
+    return rows
+
+
 def run_case(pipeline: str, seed: int, *, horizon: float,
              kinds: Sequence[str] = FAULT_KINDS,
              intensity: float = 1.0, perturb: bool = False,
              workdir: Optional[str] = None, raw_check: bool = True,
              plan: Optional[ChaosPlan] = None,
-             max_violations: int = 200) -> CaseResult:
+             max_violations: int = 200, obs: bool = False,
+             slos: Optional[Sequence] = None,
+             obs_window: Optional[float] = None,
+             obs_threshold: float = 4.0,
+             obs_warmup: int = 8) -> CaseResult:
     """Run one pipeline under one seeded (or explicit) fault plan.
 
     ``pipeline`` is YAML text or a path, as for ``run_pipeline``. When
@@ -73,7 +148,20 @@ def run_case(pipeline: str, seed: int, *, horizon: float,
     ``raw_check=False`` weakens the checker to the stale-read-tolerant
     stub — only useful to *demonstrate* that the full checker catches
     mutations the stub misses.
+
+    ``obs=True`` attaches the live observability plane (detectors and
+    any ``slos``) and fills :attr:`CaseResult.detections` with the
+    per-fault detection latency — the time from each applied fault's
+    onset to the first anomaly event or SLO alert fire at or after it
+    — also observed into the ``alert.detection_s{kind=}`` histogram on
+    the case's own monitor. ``obs_window`` overrides the obs tick
+    (default ``horizon / 256``: chaos horizons are tiny next to the
+    cluster's operator-scale ``obs_window``, and detectors need tens
+    of windows of baseline before the first fault lands); detection
+    latency is quantized to it.
     """
+    if obs and obs_window is None:
+        obs_window = horizon / 256.0
     state: Dict[str, object] = {}
 
     def hook(cluster, variant):
@@ -91,6 +179,9 @@ def run_case(pipeline: str, seed: int, *, horizon: float,
         injector = ChaosInjector(system, p, recorder).install()
         state.update(system=system, plan=p, checker=checker,
                      recorder=recorder, injector=injector)
+        if obs:
+            state["obs"] = _attach_case_obs(
+                cluster, slos, obs_window, obs_threshold, obs_warmup)
 
     res = CaseResult(seed=seed)
     rows: List[dict] = []
@@ -113,6 +204,19 @@ def run_case(pipeline: str, seed: int, *, horizon: float,
         res.faults_applied = sum(1 for k, _t, _f in injector.applied
                                  if k != "restart")
         res.faults_skipped = len(injector.skipped)
+        if "obs" in state:
+            live = state["obs"]  # type: ignore[assignment]
+            system = state["system"]
+            res.obs_anomalies = len(live.events)  # type: ignore
+            res.obs_alerts = len(live.slo.history) \
+                if live.slo is not None else 0  # type: ignore
+            res.detections = _detection_rows(live, injector)
+            metrics = system.monitor.metrics  # type: ignore
+            for d in res.detections:
+                if d["detection_s"] is not None:
+                    metrics.histogram(
+                        "alert.detection_s",
+                        kind=d["kind"]).observe(d["detection_s"])
     if rows:
         res.runtime_s = max(float(r.get("runtime_s", 0.0))
                             for r in rows)
@@ -140,13 +244,19 @@ def run_campaign(pipeline: str, seeds: Sequence[int], *,
                  horizon: Optional[float] = None,
                  workdir: Optional[str] = None,
                  raw_check: bool = True,
-                 log: Optional[Callable[[str], None]] = None
-                 ) -> List[CaseResult]:
+                 log: Optional[Callable[[str], None]] = None,
+                 obs: bool = False,
+                 slos: Optional[Sequence] = None,
+                 obs_window: Optional[float] = None,
+                 obs_threshold: float = 4.0,
+                 obs_warmup: int = 8) -> List[CaseResult]:
     """Run one case per seed; returns every :class:`CaseResult`.
 
     When ``horizon`` is ``None`` a fault-free probe run measures it
     first. The campaign does not stop at the first failure — every
     seed runs, so one flaky fault schedule cannot mask another.
+    ``obs=True`` runs every case with the observability plane attached
+    (see :func:`run_case`); aggregate with :func:`detection_stats`.
     """
     if horizon is None:
         horizon = measure_horizon(pipeline, workdir=workdir)
@@ -156,11 +266,37 @@ def run_campaign(pipeline: str, seeds: Sequence[int], *,
     for seed in seeds:
         res = run_case(pipeline, seed, horizon=horizon, kinds=kinds,
                        intensity=intensity, perturb=perturb,
-                       workdir=workdir, raw_check=raw_check)
+                       workdir=workdir, raw_check=raw_check, obs=obs,
+                       slos=slos, obs_window=obs_window,
+                       obs_threshold=obs_threshold,
+                       obs_warmup=obs_warmup)
         results.append(res)
         if log is not None:
             log(res.summary())
     return results
+
+
+def detection_stats(results: Sequence[CaseResult]) -> Dict[str, dict]:
+    """Per-fault-kind detection rollup over a campaign.
+
+    Returns ``{kind: {"faults", "detected", "mean_s", "max_s"}}``
+    (latency stats over the detected subset; None when none were).
+    """
+    out: Dict[str, dict] = {}
+    for res in results:
+        for d in res.detections:
+            row = out.setdefault(d["kind"], {"faults": 0,
+                                             "detected": 0,
+                                             "latencies": []})
+            row["faults"] += 1
+            if d["detection_s"] is not None:
+                row["detected"] += 1
+                row["latencies"].append(d["detection_s"])
+    for row in out.values():
+        lat = row.pop("latencies")
+        row["mean_s"] = sum(lat) / len(lat) if lat else None
+        row["max_s"] = max(lat) if lat else None
+    return out
 
 
 def shrink_faults(predicate: Callable[[Sequence[int]], bool],

@@ -230,6 +230,15 @@ class SimCluster:
             rack_size=self.rack_size)
         self.tracer = self.system.tracer
         self.tracer.enabled = spec.trace
+        if spec.trace and spec.config.trace_sample_rate < 1.0:
+            from repro.sim.rand import py_rng
+            from repro.sim.trace import TraceSampler
+            # A dedicated seeded stream: sampling draws never perturb
+            # application or placement randomness.
+            self.tracer.sampler = TraceSampler(
+                py_rng(spec.seed, "trace-sample"),
+                spec.config.trace_sample_rate,
+                spec.config.trace_slow_factor)
         rank_to_node = [r // spec.procs_per_node
                         for r in range(spec.nprocs)]
         self.world = MpiWorld(self.sim, self.network, rank_to_node)

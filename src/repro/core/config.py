@@ -122,6 +122,26 @@ class MegaMmapConfig:
     #: Cap on blob demotions+promotions enforced per sweep (bounds the
     #: data movement a single reallocation decision can trigger).
     realloc_max_moves: int = 32
+    #: Simulated seconds per windowed-observability rollup interval
+    #: (:mod:`repro.obs.live`): each tick closes one fixed window of
+    #: counter deltas / gauge samples / latency sketches.
+    obs_window: float = 0.01
+    #: Closed windows retained per series — the windowed store's ring
+    #: size. Memory is O(retention) per series regardless of run
+    #: length.
+    obs_retention: int = 120
+    #: Head-sampling probability for span retention when tracing is on
+    #: (:mod:`repro.sim.trace` tail-based sampler). 1.0 keeps every
+    #: span (classic full tracing, the default); below 1.0 spans are
+    #: head-sampled per trace but *always* kept when slow (per-category
+    #: dynamic thresholds from the windowed quantiles), error/repair,
+    #: or inside a firing-alert window. Percentile statistics stay
+    #: exact either way.
+    trace_sample_rate: float = 1.0
+    #: A finished span is "slow" — and tail-promoted into the kept
+    #: sample — when its duration exceeds ``trace_slow_factor`` x the
+    #: recent windowed p99 of its category.
+    trace_slow_factor: float = 4.0
 
     def validated(self) -> "MegaMmapConfig":
         if self.page_size <= 0:
@@ -155,6 +175,18 @@ class MegaMmapConfig:
         if self.realloc_max_moves < 1:
             raise ValueError(f"realloc_max_moves must be at least 1, "
                              f"got {self.realloc_max_moves}")
+        if self.obs_window <= 0:
+            raise ValueError(f"obs_window must be positive, got "
+                             f"{self.obs_window}")
+        if self.obs_retention < 2:
+            raise ValueError(f"obs_retention must be at least 2, got "
+                             f"{self.obs_retention}")
+        if not 0.0 < self.trace_sample_rate <= 1.0:
+            raise ValueError(f"trace_sample_rate must be in (0,1], got "
+                             f"{self.trace_sample_rate}")
+        if self.trace_slow_factor < 1.0:
+            raise ValueError(f"trace_slow_factor must be >= 1, got "
+                             f"{self.trace_slow_factor}")
         return self
 
     @classmethod

@@ -96,6 +96,10 @@ class DurabilityManager:
                     "wal_commit", "durability", node=wal.node_id,
                     seq=seq, pages=len(wal.staged)):
                 yield from wal.commit_barrier(seq)
+            # Live log size per node: the WAL-growth anomaly detector
+            # and `repro top` watch this between snapshot truncations.
+            self.system.monitor.metrics.gauge(
+                "wal_bytes", node=wal.node_id).set(wal.durable_bytes)
             committed += 1
         if committed:
             self.system.monitor.count("durability.barriers")

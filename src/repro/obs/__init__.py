@@ -14,8 +14,15 @@ from repro.obs.graph import (IO_CATEGORIES, SpanGraph, SpanNode,
                              load_trace)
 from repro.obs.report import analyze, diff_analyses, render_diff, \
     render_report
+from repro.obs.live import LiveObs, QuantileSketch, WindowedStore
+from repro.obs.slo import SLOMonitor, SLOSpec, load_slos
+from repro.obs.anomaly import EwmaMadDetector, attach_detectors, \
+    standard_detectors
 
 __all__ = [
     "IO_CATEGORIES", "SpanGraph", "SpanNode", "load_trace",
     "analyze", "diff_analyses", "render_diff", "render_report",
+    "LiveObs", "QuantileSketch", "WindowedStore",
+    "SLOMonitor", "SLOSpec", "load_slos",
+    "EwmaMadDetector", "attach_detectors", "standard_detectors",
 ]

@@ -34,17 +34,109 @@ def _labelset(labels: Dict[str, object]) -> LabelSet:
 
 
 class TimeSeries:
-    """A step-wise time series of (time, value) samples."""
+    """A step-wise time series of (time, value) samples with bounded
+    retention.
 
-    __slots__ = ("samples",)
+    Always-on monitoring records gauges for the whole run, so the raw
+    sample list must not grow with run length. Once it exceeds
+    ``max_samples`` the older half is *compacted*: its samples are
+    folded into one rolled-up window ``(t0, t1, area, min, max)``
+    appended to a bounded ring, and when the ring itself overflows its
+    oldest window folds into a single base accumulator. Memory is
+    therefore O(``max_samples`` + ``ROLLED_LIMIT``) regardless of run
+    length, while the whole-run aggregates stay **exact**:
 
-    def __init__(self):
+    * ``peak`` / ``minimum`` track running extremes over every sample
+      ever recorded;
+    * ``time_average(until)`` integrates base + rolled windows + raw
+      tail, which reproduces the full step-function integral exactly
+      for any ``until`` inside the raw tail (the only approximation is
+      pro-rata interpolation for an ``until`` that lands *inside* an
+      already-rolled window);
+    * ``last`` always reflects the newest sample (the tail is never
+      emptied).
+
+    ``max_samples=None`` (the default) uses ``DEFAULT_MAX_SAMPLES``;
+    pass ``0`` to disable retention (unbounded raw samples).
+    """
+
+    __slots__ = ("samples", "max_samples", "rolled",
+                 "_base_t0", "_base_t1", "_base_area",
+                 "_peak", "_min", "_count")
+
+    #: Raw-tail cap applied when no explicit ``max_samples`` is given.
+    #: Large enough that short runs (every current test and report)
+    #: never compact; long always-on runs stay bounded.
+    DEFAULT_MAX_SAMPLES = 65536
+    #: Rolled-window ring size; beyond it history folds into the base
+    #: accumulator (exact area, no per-window resolution).
+    ROLLED_LIMIT = 256
+
+    def __init__(self, max_samples: Optional[int] = None):
         self.samples: List[Tuple[float, float]] = []
+        self.max_samples = (self.DEFAULT_MAX_SAMPLES
+                            if max_samples is None else int(max_samples))
+        #: Rolled-up windows ``(t0, t1, area, vmin, vmax)`` oldest
+        #: first, contiguous: each window's t1 is the next segment's
+        #: start (the step function continues across the boundary).
+        self.rolled: List[Tuple[float, float, float, float, float]] = []
+        self._base_t0 = 0.0
+        self._base_t1 = 0.0
+        self._base_area = 0.0
+        self._peak = float("-inf")
+        self._min = float("inf")
+        self._count = 0
 
     def record(self, t: float, value: float) -> None:
         if self.samples and t < self.samples[-1][0]:
             raise ValueError("samples must be recorded in time order")
         self.samples.append((t, value))
+        self._count += 1
+        if value > self._peak:
+            self._peak = value
+        if value < self._min:
+            self._min = value
+        if self.max_samples and len(self.samples) > self.max_samples:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Fold the older half of the raw tail into one rolled window.
+
+        Compaction triggers once per ``max_samples / 2`` records, and
+        each sample is folded at most once — O(1) amortized per
+        record.
+        """
+        samples = self.samples
+        keep_from = len(samples) // 2
+        boundary_t = samples[keep_from][0]
+        evicted = samples[:keep_from]
+        area = 0.0
+        for (t0, v0), (t1, _v1) in zip(evicted, evicted[1:]):
+            area += v0 * (t1 - t0)
+        # The last evicted sample's value holds until the first
+        # retained sample — the step function has no gap.
+        area += evicted[-1][1] * (boundary_t - evicted[-1][0])
+        vmin = min(v for _, v in evicted)
+        vmax = max(v for _, v in evicted)
+        self.rolled.append((evicted[0][0], boundary_t, area, vmin, vmax))
+        self.samples = samples[keep_from:]
+        if len(self.rolled) > self.ROLLED_LIMIT:
+            t0, t1, a, _vmin, _vmax = self.rolled.pop(0)
+            if self._base_t1 == self._base_t0 == 0.0 \
+                    and self._base_area == 0.0:
+                self._base_t0 = t0
+            self._base_t1 = t1
+            self._base_area += a
+
+    @property
+    def retained(self) -> int:
+        """Raw samples currently held (tests assert the cap)."""
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        """Samples ever recorded (including compacted ones)."""
+        return self._count
 
     @property
     def last(self) -> float:
@@ -52,11 +144,50 @@ class TimeSeries:
 
     @property
     def peak(self) -> float:
-        return max((v for _, v in self.samples), default=0.0)
+        return self._peak if self._count else 0.0
 
     @property
     def minimum(self) -> float:
-        return min((v for _, v in self.samples), default=0.0)
+        return self._min if self._count else 0.0
+
+    @property
+    def first_time(self) -> float:
+        """Timestamp of the earliest sample ever recorded."""
+        if self._base_area or self._base_t1 > self._base_t0:
+            return self._base_t0
+        if self.rolled:
+            return self.rolled[0][0]
+        return self.samples[0][0] if self.samples else 0.0
+
+    def _area_until(self, end: float) -> float:
+        """Step-function integral over ``[first sample, end)``."""
+        total = 0.0
+        if self._base_area:
+            if end >= self._base_t1:
+                total += self._base_area
+            elif end > self._base_t0:
+                frac = (end - self._base_t0) \
+                    / (self._base_t1 - self._base_t0)
+                return self._base_area * frac
+            else:
+                return 0.0
+        for (t0, t1, area, _vmin, _vmax) in self.rolled:
+            if end >= t1:
+                total += area
+            elif end > t0:
+                return total + area * (end - t0) / (t1 - t0)
+            else:
+                return total
+        samples = self.samples
+        if not samples:
+            return total
+        for (t0, v0), (t1, _v1) in zip(samples, samples[1:]):
+            if t0 >= end:
+                return total
+            total += v0 * (min(t1, end) - t0)
+        if samples[-1][0] < end:
+            total += samples[-1][1] * (end - samples[-1][0])
+        return total
 
     def time_average(self, until: Optional[float] = None) -> float:
         """Time-weighted average over ``[first sample, until)``,
@@ -64,22 +195,17 @@ class TimeSeries:
 
         An empty window (no samples, or ``until`` at or before the
         first sample) averages to 0.0; samples past ``until`` are
-        clipped rather than counted.
+        clipped rather than counted. Exact for any ``until`` at or
+        past the start of the retained raw tail; pro-rata within
+        rolled-up history.
         """
-        if not self.samples:
+        if not self._count:
             return 0.0
         end = until if until is not None else self.samples[-1][0]
-        span = end - self.samples[0][0]
+        span = end - self.first_time
         if span <= 0:
             return 0.0
-        total = 0.0
-        for (t0, v0), (t1, _v1) in zip(self.samples, self.samples[1:]):
-            if t0 >= end:
-                break
-            total += v0 * (min(t1, end) - t0)
-        if self.samples[-1][0] < end:
-            total += self.samples[-1][1] * (end - self.samples[-1][0])
-        return total / span
+        return self._area_until(end) / span
 
 
 class Gauge:
@@ -284,7 +410,10 @@ def parse_prometheus(text: str) -> Dict[Tuple[str, LabelSet], float]:
     :meth:`MetricsRegistry.to_prometheus`, used by tests and by
     ``repro diff`` when handed exported snapshots."""
     out: Dict[Tuple[str, LabelSet], float] = {}
-    for line in text.splitlines():
+    # Split on \n only: the exposition format escapes newlines in label
+    # values but leaves carriage returns raw, so splitlines() would cut
+    # a sample line in half at a CR inside a quoted value.
+    for line in text.split("\n"):
         line = line.strip()
         if not line or line.startswith("#"):
             continue

@@ -50,14 +50,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
 
-__all__ = ["Span", "Tracer", "NOOP_TRACER"]
+__all__ = ["Span", "Tracer", "TraceSampler", "NOOP_TRACER"]
 
 
 class Span:
     """One timed interval on a track, possibly nested inside another."""
 
     __slots__ = ("name", "category", "node", "start", "end", "attrs",
-                 "track", "parent_id", "span_id")
+                 "track", "parent_id", "span_id", "keep")
 
     def __init__(self, name: str, category: str, node: int,
                  start: float, attrs: Optional[Dict[str, Any]] = None):
@@ -70,6 +70,11 @@ class Span:
         self.track = ""
         self.parent_id: Optional[int] = None
         self.span_id = 0
+        #: Retention verdict under tail-based sampling (always True
+        #: without a sampler). Children inherit the root's head
+        #: decision; a slow/error/alert-window child promotes itself
+        #: and its open ancestors at close time.
+        self.keep = True
 
     @property
     def duration(self) -> float:
@@ -100,6 +105,83 @@ class _NoopSpan:
 
 
 _NOOP_SPAN = _NoopSpan()
+
+
+class TraceSampler:
+    """Tail-based adaptive retention policy for always-on tracing.
+
+    Head-sample: each *root* span draws once against ``head_rate``
+    from a dedicated seeded RNG stream, and every descendant inherits
+    the verdict — sampling is per trace, not per span, so kept traces
+    are complete trees. Tail-promote: a span that closes "interesting"
+    is kept regardless of the head draw, along with its still-open
+    ancestors. Interesting means any of:
+
+    * slow — duration above the category's dynamic threshold
+      (``slow_factor`` x the recent windowed p99, refreshed each obs
+      tick from the :class:`~repro.obs.live.WindowedStore`);
+    * an always-keep category (fault injection, repairs, alerts,
+      anomalies) or recovery span name;
+    * an error attribute (``error``/``unfinished``/``corrupt``);
+    * closing inside a firing-alert window (``obs.alert_active()``).
+
+    Per-category duration statistics are *never* sampled — the tracer
+    accumulates them for every span — so ``latency_summary`` stays
+    exact; only span-object retention (the memory and export cost) is
+    reduced. The RNG stream is seeded and private, so enabling
+    sampling perturbs no other random draw and simulated results stay
+    bit-identical.
+    """
+
+    ALWAYS_KEEP_CATEGORIES = frozenset({"chaos", "alert", "anomaly"})
+    ALWAYS_KEEP_NAMES = frozenset({"recover", "repair", "wal_recover"})
+    ERROR_ATTRS = ("error", "unfinished", "corrupt")
+
+    def __init__(self, rng, head_rate: float,
+                 slow_factor: float = 4.0):
+        if not 0.0 < head_rate <= 1.0:
+            raise ValueError(f"head_rate must be in (0,1], got "
+                             f"{head_rate}")
+        self.rng = rng
+        self.head_rate = head_rate
+        self.slow_factor = slow_factor
+        #: Per-category slowness cutoffs in simulated seconds,
+        #: refreshed from the windowed store by the obs ticker.
+        self.thresholds: Dict[str, float] = {}
+        #: Observability plane providing ``alert_active()`` (attached
+        #: by :meth:`LiveObs.install` when both are present).
+        self.obs = None
+        self.sampled_out = 0
+        self.tail_promoted = 0
+
+    def head_decision(self) -> bool:
+        return self.rng.random() < self.head_rate
+
+    def tail_keep(self, span: Span) -> bool:
+        """Whether a head-rejected span must be kept anyway."""
+        if span.category in self.ALWAYS_KEEP_CATEGORIES \
+                or span.name in self.ALWAYS_KEEP_NAMES:
+            return True
+        if span.attrs:
+            for key in self.ERROR_ATTRS:
+                if span.attrs.get(key):
+                    return True
+        threshold = self.thresholds.get(span.category)
+        if threshold is not None and span.duration > threshold:
+            return True
+        obs = self.obs
+        return obs is not None and obs.alert_active()
+
+    def refresh_thresholds(self, store) -> None:
+        """Pull ``slow_factor`` x windowed-p99 per category from a
+        :class:`~repro.obs.live.WindowedStore` (its trace categories
+        are keyed ``("trace.<cat>", ())``)."""
+        for (name, labels) in store.histograms:
+            if labels or not name.startswith("trace."):
+                continue
+            p99 = store.quantile(name, 99)
+            if p99 > 0.0:
+                self.thresholds[name[6:]] = self.slow_factor * p99
 
 
 class _SpanCtx:
@@ -145,6 +227,8 @@ class Tracer:
         self.max_spans = max_spans
         self.spans: List[Span] = []
         self.dropped = 0
+        #: Optional :class:`TraceSampler`; None keeps every span.
+        self.sampler: Optional[TraceSampler] = None
         self._durations: Dict[str, List[float]] = {}
         self._stacks: Dict[int, List[Span]] = {}
         self._next_id = 1
@@ -169,6 +253,18 @@ class Tracer:
         span.span_id = self._next_id
         self._next_id += 1
         span.track = self._track_name()
+        if self.sampler is not None:
+            proc = self.sim._active
+            stack = self._stacks.get(
+                id(proc) if proc is not None else 0)
+            span.keep = stack[-1].keep if stack \
+                else self.sampler.head_decision()
+            if not span.keep and self.sampler.tail_keep(span):
+                span.keep = True
+                self.sampler.tail_promoted += 1
+                if stack:
+                    for open_span in stack:
+                        open_span.keep = True
         self._finish(span)
 
     def _track_name(self) -> str:
@@ -205,6 +301,11 @@ class Tracer:
             span.parent_id = stack[-1].span_id
         else:
             stack = self._stacks[key] = []
+        if self.sampler is not None:
+            # Per-trace head sampling: descendants inherit the root's
+            # draw, so a kept trace is a complete tree.
+            span.keep = stack[-1].keep if stack \
+                else self.sampler.head_decision()
         stack.append(span)
         return key
 
@@ -215,8 +316,18 @@ class Tracer:
             stack.pop()
             if not stack:
                 del self._stacks[key]
+                stack = None
         elif stack and span in stack:  # pragma: no cover - defensive
             stack.remove(span)
+        if self.sampler is not None and not span.keep \
+                and self.sampler.tail_keep(span):
+            # Tail promotion: keep this span and its open ancestors so
+            # the exported trace shows the slow path in context.
+            span.keep = True
+            self.sampler.tail_promoted += 1
+            if stack:
+                for open_span in stack:
+                    open_span.keep = True
         self._finish(span)
 
     def _finish(self, span: Span) -> None:
@@ -227,6 +338,12 @@ class Tracer:
             self._durations.setdefault(
                 f"{span.category}[tenant={tenant}]", []).append(
                 span.duration)
+        if not span.keep:
+            # Head-rejected and not tail-promoted: the duration above
+            # is still counted (percentiles stay exact), only the span
+            # object is discarded.
+            self.sampler.sampled_out += 1
+            return
         if len(self.spans) < self.max_spans:
             self.spans.append(span)
         else:
@@ -238,6 +355,9 @@ class Tracer:
         self._stacks.clear()
         self.dropped = 0
         self._next_id = 1
+        if self.sampler is not None:
+            self.sampler.sampled_out = 0
+            self.sampler.tail_promoted = 0
 
     # -- statistics --------------------------------------------------------
     @property
@@ -271,6 +391,10 @@ class Tracer:
                 out[f"trace.{cat}.p{q}"] = ordered[rank]
         if self.dropped:
             out["trace.dropped_spans"] = float(self.dropped)
+        if self.sampler is not None:
+            out["trace.sampled_out"] = float(self.sampler.sampled_out)
+            out["trace.tail_promoted"] = float(
+                self.sampler.tail_promoted)
         return out
 
     # -- export ------------------------------------------------------------

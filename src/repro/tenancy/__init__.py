@@ -9,11 +9,13 @@ from repro.tenancy.quota import (QuotaExceededError, QuotaManager,
                                  TenantQuota)
 from repro.tenancy.realloc import ReallocLoop
 from repro.tenancy.scheduler import (ColocationResult, JobScheduler,
-                                     JobSpec, load_colocation_spec,
+                                     JobSpec, collect_slos,
+                                     load_colocation_spec,
                                      run_colocation)
 
 __all__ = [
     "ColocationResult",
+    "collect_slos",
     "JobScheduler",
     "JobSpec",
     "QuotaExceededError",

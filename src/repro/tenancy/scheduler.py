@@ -58,6 +58,7 @@ class JobSpec:
     scache_quota: Optional[int] = None
     dram_quota: Optional[int] = None
     min_dram: int = 0
+    slo: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
@@ -78,6 +79,7 @@ class JobSpec:
             scache_quota=mb("scache_quota_mb"),
             dram_quota=mb("dram_quota_mb"),
             min_dram=int(float(data.get("min_dram_mb", 0)) * MB),
+            slo=data.get("slo"),
         )
 
 
@@ -89,6 +91,10 @@ class ColocationResult:
     decisions: List[dict]
     makespan: float
     stats: dict = field(default_factory=dict)
+    #: SLO compliance + alert report (None when no SLOs were attached).
+    slo: Optional[Dict[str, Any]] = None
+    #: Anomaly events from the live obs plane, oldest first.
+    obs_events: List[dict] = field(default_factory=list)
 
 
 def _dataset_url(job: JobSpec, workdir: str) -> str:
@@ -316,7 +322,50 @@ def load_colocation_spec(text_or_path: str) -> Dict[str, Any]:
     return spec
 
 
-def run_colocation(text_or_path: str, workdir: Optional[str] = None
+def collect_slos(spec: Dict[str, Any], jobs: List[JobSpec],
+                 extra=None) -> list:
+    """SLO specs for one campaign: the spec's top-level ``slos:``
+    list, each job's ``slo:`` block (tenant/name defaulted from the
+    job), plus any externally supplied specs (``repro slo --slos``)."""
+    from repro.obs.slo import SLOSpec
+    specs = list(extra or [])
+    for data in (spec.get("slos") or []):
+        specs.append(SLOSpec.from_dict(dict(data)))
+    for job in jobs:
+        if not job.slo:
+            continue
+        data = dict(job.slo)
+        data.setdefault("tenant", job.name)
+        data.setdefault(
+            "name", f"{job.name}-{data.get('objective', 'slo')}")
+        specs.append(SLOSpec.from_dict(data))
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise PipelineError(f"duplicate SLO names: {names}")
+    return specs
+
+
+def _attach_obs(cluster, jobs: List[JobSpec], slo_specs: list):
+    """Install the live observability plane on a colocated cluster:
+    windowed store + ticker, the SLO monitor when objectives exist,
+    and the standard anomaly-detector bank (whose ``realloc_thrash``
+    events the :class:`ReallocLoop` consumes for backoff)."""
+    from repro.obs import LiveObs, SLOMonitor
+    from repro.obs.anomaly import attach_detectors, standard_detectors
+    obs = getattr(cluster.system, "obs", None)
+    if obs is None:
+        obs = LiveObs.attach(cluster)
+    if slo_specs and obs.slo is None:
+        SLOMonitor(obs, slo_specs)
+    if not obs.detectors:
+        attach_detectors(obs, standard_detectors(
+            tenants=[j.name for j in jobs],
+            n_nodes=cluster.spec.n_nodes))
+    return obs
+
+
+def run_colocation(text_or_path: str, workdir: Optional[str] = None,
+                   on_cluster=None, slos=None
                    ) -> ColocationResult:
     """Execute a colocation spec; returns (and persists) per-job rows.
 
@@ -324,6 +373,14 @@ def run_colocation(text_or_path: str, workdir: Optional[str] = None
     pipeline launcher (bit-identical to ``repro run`` on the
     equivalent pipeline file); everything else goes through the
     :class:`JobScheduler`.
+
+    ``on_cluster(cluster)`` is invoked right after the cluster is
+    built, before any job runs — the hook ``repro top``/``repro slo``
+    use to install the live observability plane. ``slos`` (a list of
+    :class:`~repro.obs.slo.SLOSpec`) is merged with SLOs embedded in
+    the spec (top-level ``slos:`` and per-job ``slo:`` blocks); when
+    any exist the obs plane is attached automatically and the result
+    carries the compliance/alert report in ``.slo``.
     """
     spec = load_colocation_spec(text_or_path)
     if os.path.exists(text_or_path):
@@ -342,18 +399,29 @@ def run_colocation(text_or_path: str, workdir: Optional[str] = None
         # leave nothing behind in the workdir.
         raise QuotaExceededError(
             "tenancy cannot be disabled with more than one job")
+    slo_specs = collect_slos(spec, jobs, extra=slos)
     for job in jobs:
         prepare_dataset(job.dataset, workdir)
     if not enabled:
-        result = _run_plain(spec, jobs[0], workdir)
+        result = _run_plain(spec, jobs[0], workdir,
+                            on_cluster=on_cluster)
     else:
         cluster = build_cluster(spec.get("cluster"))
+        if on_cluster is not None:
+            on_cluster(cluster)
+        obs = None
+        if slo_specs or getattr(cluster.system, "obs", None) is not None:
+            obs = _attach_obs(cluster, jobs, slo_specs)
         sched = JobScheduler(
             cluster, jobs, workdir=workdir,
             realloc=bool(tenancy.get("realloc", True)),
             namespace=bool(tenancy.get("namespace", True)),
             overcommit=float(tenancy.get("overcommit", 1.0)))
         result = sched.run()
+        if obs is not None:
+            result.obs_events = list(obs.events)
+            if obs.slo is not None:
+                result.slo = obs.slo.report()
     out_path = os.path.join(workdir,
                             spec.get("output", "colocate_stats.csv"))
     if result.rows:
@@ -365,7 +433,7 @@ def run_colocation(text_or_path: str, workdir: Optional[str] = None
 
 
 def _run_plain(spec: Dict[str, Any], job: JobSpec,
-               workdir: str) -> ColocationResult:
+               workdir: str, on_cluster=None) -> ColocationResult:
     """Single-tenant fast path: the exact plain-pipeline launcher (no
     QuotaManager, global rank rng streams, same process names)."""
     kind = job.app.get("kind")
@@ -375,6 +443,8 @@ def _run_plain(spec: Dict[str, Any], job: JobSpec,
     if job.arrival:
         raise PipelineError("plain (single-tenant) runs start at t=0")
     cluster = build_cluster(spec.get("cluster"))
+    if on_cluster is not None:
+        on_cluster(cluster)
     variant = {"app": dict(job.app), "dataset": job.dataset,
                "name": job.name}
     res = APP_REGISTRY[kind](cluster, variant, workdir)

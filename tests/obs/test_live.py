@@ -1,0 +1,186 @@
+"""Windowed time-series engine (repro.obs.live): sketch correctness,
+scrape-at-tick rollups, bounded retention, ticker integration."""
+
+import pytest
+
+from repro.obs.live import LiveObs, QuantileSketch, WindowStats, \
+    WindowedStore
+from repro.sim import Monitor, Simulator
+
+
+# -- QuantileSketch --------------------------------------------------------
+
+def test_sketch_exact_when_small():
+    sk = QuantileSketch(capacity=128)
+    sk.add_many(float(i) for i in range(1, 101))
+    assert sk.count == 100
+    assert sk.quantile(50) == 50.0
+    assert sk.quantile(99) == 99.0
+    assert sk.frac_above(90.0) == pytest.approx(0.10)
+
+
+def test_sketch_bounded_and_close_when_large():
+    sk = QuantileSketch()
+    n = 100_000
+    sk.add_many(float(i) for i in range(n))
+    # O(capacity * log n) memory, not O(n).
+    assert sk.size <= sk.capacity * (len(sk.levels) + 1)
+    assert len(sk.levels) < 20
+    assert sk.count == n
+    # Compaction keeps quantiles within a few percent.
+    assert sk.quantile(50) == pytest.approx(n / 2, rel=0.05)
+    assert sk.quantile(99) == pytest.approx(0.99 * n, rel=0.05)
+    assert sk.frac_above(0.9 * n) == pytest.approx(0.10, abs=0.02)
+
+
+def test_sketch_deterministic():
+    def build():
+        sk = QuantileSketch()
+        sk.add_many(float((i * 7919) % 1000) for i in range(10_000))
+        return sk
+    a, b = build(), build()
+    assert a.levels == b.levels
+    assert a.quantile(95) == b.quantile(95)
+
+
+def test_sketch_merge_matches_union():
+    a, b, u = QuantileSketch(), QuantileSketch(), QuantileSketch()
+    a.add_many(float(i) for i in range(50))
+    b.add_many(float(i) for i in range(50, 100))
+    u.add_many(float(i) for i in range(100))
+    a.merge(b)
+    assert a.count == u.count
+    assert a.quantile(50) == u.quantile(50)
+
+
+def test_window_stats():
+    ws = WindowStats(0.0, 1.0, [3.0, 1.0, 2.0])
+    assert ws.count == 3
+    assert ws.vmin == 1.0 and ws.vmax == 3.0
+    assert ws.mean == pytest.approx(2.0)
+
+
+# -- WindowedStore ---------------------------------------------------------
+
+def _store(window=1.0, retention=4):
+    sim = Simulator()
+    mon = Monitor(sim)
+    return sim, mon, WindowedStore(mon, window=window,
+                                   retention=retention)
+
+
+def test_counter_deltas_per_window():
+    sim, mon, store = _store()
+    mon.count("faults", 3)
+    mon.metrics.counter("reads", node=0).inc(10)
+    sim._now = 1.0
+    store.tick(1.0)
+    mon.count("faults", 2)
+    sim._now = 2.0
+    store.tick(2.0)
+    assert store.delta("faults") == 5.0
+    assert store.delta("faults", window_s=1.0) == 2.0
+    assert store.delta("reads", labels={"node": 0}) == 10.0
+    assert store.rate("faults", window_s=1.0) == pytest.approx(2.0)
+
+
+def test_gauge_point_samples_and_series():
+    sim, mon, store = _store()
+    g = mon.gauge("backlog")
+    g.set(4.0)
+    sim._now = 1.0
+    store.tick(1.0)
+    g.set(7.0)
+    sim._now = 2.0
+    store.tick(2.0)
+    assert store.gauge_last("backlog") == 7.0
+    assert store.gauge_series("backlog") == [(1.0, 4.0), (2.0, 7.0)]
+    assert store.gauge_last("missing") is None
+
+
+def test_histogram_windows_and_quantiles():
+    sim, mon, store = _store()
+    h = mon.metrics.histogram("lat", tenant="a")
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v)
+    sim._now = 1.0
+    store.tick(1.0)
+    for v in (10.0, 20.0):
+        h.observe(v)
+    sim._now = 2.0
+    store.tick(2.0)
+    labels = {"tenant": "a"}
+    assert store.window_stats("lat", labels).count == 5
+    assert store.window_stats("lat", labels, window_s=1.0).count == 2
+    frac, n = store.frac_above("lat", 5.0, labels)
+    assert n == 5 and frac == pytest.approx(2 / 5)
+    assert store.quantile("lat", 99, labels) == 20.0
+
+
+def test_retention_bounds_ring():
+    sim, mon, store = _store(retention=4)
+    for i in range(20):
+        mon.count("c", 1)
+        mon.gauge("g").set(float(i))
+        sim._now = float(i + 1)
+        store.tick(sim._now)
+    assert len(store.counters[("c", ())]) == 4
+    assert len(store.gauges[("g", ())]) == 4
+    # Only the retained windows contribute.
+    assert store.delta("c") == 4.0
+
+
+def test_trace_durations_scraped():
+    from repro.sim.trace import Tracer
+    sim = Simulator()
+    mon = Monitor(sim)
+    tracer = Tracer(sim, enabled=True)
+    mon.tracer = tracer
+    store = WindowedStore(mon, tracer=tracer, window=1.0, retention=8)
+    tracer.record("op", "pcache", 0, 0.0, 0.25)
+    tracer.record("op", "pcache", 0, 0.0, 0.5, tenant="a")
+    sim._now = 1.0
+    store.tick(1.0)
+    stats = store.window_stats("trace.pcache")
+    assert stats is not None and stats.count == 2
+    # Tenant-split duplicate categories are not double-scraped.
+    assert ("trace.pcache[tenant=a]", ()) not in store.histograms
+
+
+# -- LiveObs ticker --------------------------------------------------------
+
+def test_ticker_scrapes_on_sim_time():
+    sim = Simulator()
+    mon = Monitor(sim)
+    obs = LiveObs(sim, mon, window=0.5, retention=16).install()
+
+    def work():
+        for _ in range(4):
+            mon.count("ops", 10)
+            yield sim.timeout(1.0)
+
+    proc = sim.process(work(), name="work")
+    sim.run(until=proc)
+    assert obs.ticks >= 7
+    assert obs.store.delta("ops") == pytest.approx(40.0)
+    seen = [e for e in obs.on_tick]  # callbacks list exists
+    assert seen == []
+
+
+def test_on_tick_callback_and_events_since():
+    sim = Simulator()
+    mon = Monitor(sim)
+    obs = LiveObs(sim, mon, window=1.0, retention=8).install()
+    ticks = []
+    obs.on_tick.append(lambda o, now: ticks.append(now))
+    obs.events.append({"t": 2.0, "detector": "x", "value": 1.0})
+
+    def work():
+        yield sim.timeout(3.0)
+
+    sim.run(until=sim.process(work(), name="work"))
+    # The t=3.0 tick races the until-event (same timestamp, later
+    # seq), so only the strictly earlier ticks are guaranteed.
+    assert ticks[:2] == [1.0, 2.0]
+    assert obs.events_since(2.0) and not obs.events_since(2.5)
+    assert obs.events_since(0.0, detector="y") == []

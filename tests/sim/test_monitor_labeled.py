@@ -141,6 +141,22 @@ def test_prometheus_label_value_round_trip_property(monitor):
         assert parsed[key] == float(i + 1), repr(v)
 
 
+def test_prometheus_tab_cr_unicode_label_values(monitor):
+    # Only backslash, quote and newline are escaped on the wire;
+    # tabs, carriage returns and non-ASCII must survive verbatim
+    # inside the quoted value (CR is not a line terminator for the
+    # parser's newline split).
+    values = ["tab\there", "cr\rhere", "crlf\r\nmix", "\t", "\r",
+              "café", "中文", "emoji \U0001f600",
+              "é\r\t\"\\\n中"]
+    for i, v in enumerate(values):
+        monitor.metrics.counter("adv", idx=str(i), v=v).inc(i + 1)
+    parsed = parse_prometheus(monitor.metrics.to_prometheus())
+    for i, v in enumerate(values):
+        key = ("adv", (("idx", str(i)), ("v", v)))
+        assert parsed[key] == float(i + 1), repr(v)
+
+
 def test_prometheus_sanitizes_metric_names(monitor):
     monitor.metrics.counter("pcache.faults-total", node=0).inc()
     text = monitor.metrics.to_prometheus()

@@ -61,3 +61,76 @@ def test_until_before_last_sample_ignores_later_samples():
     assert ts.time_average(until=1.0) == pytest.approx(1.0)
     assert ts.time_average(until=1.5) == pytest.approx(
         (1.0 * 1.0 + 100.0 * 0.5) / 1.5)
+
+
+# ---------------------------------------------------------------------------
+# Bounded retention (ISSUE 9 satellite): long runs must not grow the
+# raw sample list unboundedly, while whole-run aggregates stay exact.
+# ---------------------------------------------------------------------------
+
+
+def test_long_run_stays_under_sample_cap():
+    ts = TimeSeries(max_samples=128)
+    for i in range(100_000):
+        ts.record(i * 0.001, float(i % 17))
+    assert ts.retained <= 128
+    assert ts.count == 100_000
+    assert len(ts.rolled) <= TimeSeries.ROLLED_LIMIT
+    # last/peak/minimum are exact over the whole run.
+    assert ts.last == float(99_999 % 17)
+    assert ts.peak == 16.0
+    assert ts.minimum == 0.0
+
+
+def test_time_average_exact_after_compaction():
+    """Compaction must not change time_average for the full window."""
+    bounded = TimeSeries(max_samples=64)
+    unbounded = TimeSeries(max_samples=0)
+    import random
+    rng = random.Random(7)
+    t = 0.0
+    for _ in range(5_000):
+        t += rng.random()
+        v = rng.uniform(-5.0, 50.0)
+        bounded.record(t, v)
+        unbounded.record(t, v)
+    assert bounded.retained <= 64
+    assert unbounded.retained == 5_000
+    assert bounded.time_average() == pytest.approx(
+        unbounded.time_average(), rel=1e-12)
+    # Clipping inside the retained raw tail is exact too.
+    until = bounded.samples[0][0] + 0.5
+    assert bounded.time_average(until=until) == pytest.approx(
+        unbounded.time_average(until=until), rel=1e-12)
+    assert bounded.peak == unbounded.peak
+    assert bounded.minimum == unbounded.minimum
+    assert bounded.last == unbounded.last
+
+
+def test_default_cap_applies():
+    ts = TimeSeries()
+    assert ts.max_samples == TimeSeries.DEFAULT_MAX_SAMPLES
+    assert TimeSeries(max_samples=0).max_samples == 0
+
+
+def test_ring_overflow_folds_into_base():
+    """Beyond ROLLED_LIMIT windows the oldest fold into the base
+    accumulator; time_average over the whole run stays exact."""
+    ts = TimeSeries(max_samples=4)
+    ref = TimeSeries(max_samples=0)
+    n = 4 * (TimeSeries.ROLLED_LIMIT + 50)
+    for i in range(n):
+        ts.record(float(i), float(i % 3))
+        ref.record(float(i), float(i % 3))
+    assert len(ts.rolled) <= TimeSeries.ROLLED_LIMIT
+    assert ts.time_average() == pytest.approx(ref.time_average(),
+                                              rel=1e-12)
+    assert ts.first_time == 0.0
+
+
+def test_record_out_of_order_still_raises_after_compaction():
+    ts = TimeSeries(max_samples=8)
+    for i in range(100):
+        ts.record(float(i), 1.0)
+    with pytest.raises(ValueError):
+        ts.record(0.0, 1.0)

@@ -1,0 +1,119 @@
+"""CI perf-gate tooling: floors, ceilings, --json, exit codes."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_perf_floor",
+    os.path.join(os.path.dirname(__file__), os.pardir, "scripts",
+                 "check_perf_floor.py"))
+cpf = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(cpf)
+
+
+@pytest.fixture()
+def harness(tmp_path):
+    """(results_dir, floors_path, emit, write_bounds) scratch gate."""
+    results = tmp_path / "results"
+    results.mkdir()
+    floors = tmp_path / "perf_floor.json"
+
+    def emit(name, metric, value, unit="x/s"):
+        path = results / f"BENCH_{name}.json"
+        records = json.loads(path.read_text()) if path.exists() else []
+        records.append({"name": name, "metric": metric,
+                        "value": value, "unit": unit,
+                        "sim_config": {}})
+        path.write_text(json.dumps(records))
+
+    def write_bounds(floor_map, ceiling_map=None):
+        doc = {"floors": floor_map}
+        if ceiling_map is not None:
+            doc["ceilings"] = ceiling_map
+        floors.write_text(json.dumps(doc))
+
+    return results, floors, emit, write_bounds
+
+
+def _run(results, floors, *extra):
+    return cpf.main(["--results", str(results),
+                     "--floors", str(floors), *extra])
+
+
+def test_floor_pass_and_fail(harness, capsys):
+    results, floors, emit, write_bounds = harness
+    write_bounds({"kernel.eps": 100.0})
+    emit("kernel", "kernel.eps", 250.0)
+    assert _run(results, floors) == 0
+    emit("kernel", "kernel.eps", 50.0)  # latest record wins
+    assert _run(results, floors) == 1
+    err = capsys.readouterr().err
+    assert "violates floor" in err
+
+
+def test_ceiling_enforced_as_upper_bound(harness):
+    results, floors, emit, write_bounds = harness
+    write_bounds({}, {"obs.overhead_pct": 5.0})
+    emit("obs", "obs.overhead_pct", 3.2, unit="%")
+    assert _run(results, floors) == 0
+    emit("obs", "obs.overhead_pct", 7.9, unit="%")
+    assert _run(results, floors) == 1
+
+
+def test_missing_record_fails(harness):
+    results, floors, _emit, write_bounds = harness
+    write_bounds({"kernel.eps": 100.0})
+    assert _run(results, floors) == 1
+
+
+def test_match_and_exclude_filter_both_families(harness):
+    results, floors, emit, write_bounds = harness
+    write_bounds({"kernel.eps": 100.0}, {"obs.overhead_pct": 5.0})
+    emit("obs", "obs.overhead_pct", 2.0, unit="%")
+    # --match obs: the failing kernel floor (no record) is skipped.
+    assert _run(results, floors, "--match", "obs") == 0
+    # --exclude kernel: same outcome.
+    assert _run(results, floors, "--exclude", "kernel") == 0
+    # Unfiltered: the kernel floor has no record and fails.
+    assert _run(results, floors) == 1
+
+
+def test_no_bounds_after_filter_errors(harness):
+    results, floors, _emit, write_bounds = harness
+    write_bounds({"kernel.eps": 100.0})
+    assert _run(results, floors, "--match", "nosuch") == 1
+
+
+def test_json_output_shape_and_exit_codes(harness, capsys):
+    results, floors, emit, write_bounds = harness
+    write_bounds({"kernel.eps": 100.0}, {"obs.overhead_pct": 5.0})
+    emit("kernel", "kernel.eps", 250.0)
+    emit("obs", "obs.overhead_pct", 6.5, unit="%")
+    rc = _run(results, floors, "--json")
+    out = capsys.readouterr().out
+    doc = json.loads(out)  # stdout is pure JSON
+    assert rc == 1
+    assert doc["ok"] is False
+    assert len(doc["failures"]) == 1
+    assert "obs.overhead_pct" in doc["failures"][0]
+    by_metric = {r["metric"]: r for r in doc["results"]}
+    assert by_metric["kernel.eps"]["ok"] is True
+    assert by_metric["kernel.eps"]["kind"] == "floor"
+    assert by_metric["obs.overhead_pct"]["ok"] is False
+    assert by_metric["obs.overhead_pct"]["kind"] == "ceiling"
+    assert by_metric["obs.overhead_pct"]["bound"] == 5.0
+
+    emit("obs", "obs.overhead_pct", 1.5, unit="%")
+    rc = _run(results, floors, "--json")
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert doc["ok"] is True and doc["failures"] == []
+
+
+def test_repo_floor_file_has_obs_ceiling():
+    with open(cpf.DEFAULT_FLOORS, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["ceilings"]["obs.overhead_pct"] == 5.0

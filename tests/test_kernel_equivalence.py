@@ -127,6 +127,47 @@ def test_perturbed_schedule_keeps_application_values(monkeypatch):
     assert checker.violations == []
 
 
+def test_sampled_observability_is_bit_identical(monkeypatch):
+    """The acceptance gate for the observability plane: always-on
+    sampled tracing plus the live obs ticker (windowed store, SLO
+    evaluation hooks, anomaly detectors) must not perturb the
+    simulation — the sampler draws from its own seeded stream and the
+    ticker only *reads* state, so runtime, values, and every
+    non-kernel, non-observability counter are bit-for-bit those of a
+    run with observability off."""
+    from repro.obs import LiveObs
+
+    monkeypatch.setenv("MEGAMMAP_SLOW_KERNEL", "0")
+    res_plain, _ = _run(monkeypatch, slow=False)
+
+    c = testbed(n_nodes=2, procs_per_node=1,
+                pcache=(PAGES_PER_RANK + 4) * PAGE, seed=7,
+                trace=True, trace_sample_rate=0.05, obs_window=1e-4)
+    LiveObs.attach(c)
+    res_obs = c.run(_exchange, PAGES_PER_RANK)
+
+    assert res_obs.runtime == res_plain.runtime
+    for got, want in zip(res_obs.values, res_plain.values):
+        assert np.array_equal(got, want)
+
+    def visible(stats):
+        return {k: v for k, v in stats.items()
+                if not k.startswith(("kernel.", "trace.", "obs",
+                                     "slo", "tenancy."))}
+
+    assert visible(res_obs.stats) == visible(res_plain.stats)
+
+    # The observability plane really ran: the ticker ticked, sampling
+    # dropped span objects, and the per-category stats stayed exact.
+    assert c.system.obs.ticks
+    assert c.tracer.sampler.sampled_out > 0
+    summary = c.tracer.latency_summary()
+    total = summary["trace.pcache.count"]
+    assert total > len([s for s in c.tracer.spans
+                        if s.category == "pcache"])
+    assert summary["trace.pcache.p99"] > 0.0
+
+
 def test_single_tenant_colocation_is_bit_identical_to_plain():
     """The acceptance gate for the tenancy plane: a one-job colocation
     spec with tenancy disabled takes the plain-pipeline launcher — no

@@ -224,6 +224,9 @@ def test_repo_pipelines_parse(tmp_path):
             for job in spec["jobs"]:
                 assert job["app"]["kind"] in APP_REGISTRY, (
                     f, job.get("name"))
+        elif "slos" in spec:  # SLO spec: validated objectives
+            from repro.obs import load_slos
+            assert load_slos(f), f
         else:
             assert spec["app"]["kind"] in APP_REGISTRY, f
 
@@ -346,6 +349,61 @@ def test_cli_report_json_and_out(tmp_path, capsys):
     assert math.isfinite(saved["critical_path"]["total"])
     assert abs(sum(saved["critical_path"]["by_category"].values())
                - saved["makespan"]) <= 0.01 * saved["makespan"]
+
+
+REPORT_KEYS = {"t0", "t1", "makespan", "n_spans", "critical_path",
+               "overlap_ratio", "top_spans", "queueing", "occupancy"}
+CRITICAL_PATH_KEYS = {"total", "by_category", "by_node", "by_tier"}
+
+
+def _check_report_schema(doc, live):
+    """Golden schema for `repro report --json` consumers."""
+    assert set(doc) == REPORT_KEYS
+    assert set(doc["critical_path"]) == CRITICAL_PATH_KEYS
+    assert doc["makespan"] > 0
+    assert doc["n_spans"] > 0
+    assert 0.0 <= doc["overlap_ratio"] <= 1.0
+    # The tiling invariant: per-category (and per-node, per-tier)
+    # durations sum to the critical-path total == makespan.
+    cp = doc["critical_path"]
+    for axis in ("by_category", "by_node", "by_tier"):
+        assert sum(cp[axis].values()) == pytest.approx(cp["total"])
+    assert abs(cp["total"] - doc["makespan"]) \
+        <= 0.01 * doc["makespan"]
+    for span in doc["top_spans"]:
+        assert {"name", "category", "node", "start", "duration",
+                "unfinished"} <= set(span)
+    for q in doc["queueing"].values():
+        assert {"arrival_rate", "mean_wait", "little_L"} <= set(q)
+    if live:
+        # Live mode folds in monitor-only extras: tier occupancy
+        # timelines and the backlog-gauge leg of Little's law.
+        assert doc["occupancy"]
+        for occ in doc["occupancy"].values():
+            assert {"peak", "avg", "timeline"} <= set(occ)
+    else:
+        assert doc["occupancy"] == {}
+
+
+def test_cli_report_json_golden_schema_both_modes(tmp_path, capsys):
+    import json
+    from repro.__main__ import main
+    path = tmp_path / "p.yaml"
+    path.write_text(MINI_KMEANS)
+    rc = main(["trace", str(path), "--workdir", str(tmp_path)])
+    assert rc == 0
+    capsys.readouterr()
+
+    rc = main(["report", str(tmp_path / "trace.json"), "--json"])
+    assert rc == 0
+    _check_report_schema(json.loads(capsys.readouterr().out),
+                         live=False)
+
+    rc = main(["report", str(path), "--workdir", str(tmp_path),
+               "--json"])
+    assert rc == 0
+    _check_report_schema(json.loads(capsys.readouterr().out),
+                         live=True)
 
 
 def test_cli_diff_two_traces(tmp_path, capsys):
