@@ -5,8 +5,10 @@
 * Random Forest — MegaMmap vs the Spark-MLlib-style baseline;
 * Gray-Scott — MegaMmap vs MPI over {OrangeFS, Assise, Hermes} I/O.
 
-Plus the Gadget-like synthetic dataset generator (`datagen`) and a
-cloc-like line counter (`loc`) used by the Fig. 4 benchmark.
+Plus the Gadget-like synthetic dataset generator (`datagen`), a
+cloc-like line counter (`loc`) used by the Fig. 4 benchmark, and the
+latency-sensitive serving workload (`serving`) exercising the
+object-granular access path.
 """
 
 from repro.apps.datagen import POINT3D, generate_points, write_gadget_like

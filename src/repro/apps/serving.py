@@ -1,0 +1,132 @@
+"""DLRM-style embedding/KV serving workload (latency-sensitive).
+
+``mm_serving`` turns the batch-HPC repertoire on its head: a mega-
+vector is treated as an object table (embedding rows / KV values of
+64–4096 B), and every rank runs an **open-loop** query loop — seeded
+exponential arrivals at a configured per-rank rate, zipfian key skew,
+a handful of lookups per query, and occasional writes. Queries that
+arrive while the server is busy queue up, so per-query latency is
+measured from *arrival*, not from service start (no coordinated
+omission).
+
+Hot keys are scattered across pages by a fixed multiplicative hash:
+with zipfian skew the popular objects land on many distinct pages, so
+the page-granular access path keeps faulting (and evicting) whole
+pages to serve a few dozen bytes — exactly the regime where the
+object-granular path (``Vector.read_objects``, gated by
+``object_threshold_bytes``) wins. The app always calls the object API;
+the config gate decides which path actually serves it, and with the
+gate closed (``object_threshold_bytes=0``) the run is bit-identical to
+``api="page"``, which calls ``read_range``/``write_range`` directly.
+
+Outputs: per-query latencies go to the ``serving_latency`` labeled
+histogram and (when tracing) to retroactive ``serving``-category spans
+— so ``trace.serving.p50/p99`` appear in the stats — and each rank
+returns ``(checksum, completed, p50_ms, p99_ms)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Knuth's multiplicative-hash constant: scatters consecutive keys
+#: (and therefore the zipf head) across the whole table / page space.
+_SCATTER = 0x9E3779B1
+
+
+def zipf_keys(rng, n_keys: int, s: float, count: int) -> np.ndarray:
+    """Draw ``count`` zipf(s)-distributed keys in [0, n_keys).
+
+    Inverse-CDF on a precomputed table: unlike ``rng.zipf`` this
+    supports any s >= 0 (including s <= 1, where the unbounded zipf
+    law does not normalize) and is exactly reproducible.
+    """
+    weights = np.arange(1, n_keys + 1, dtype=np.float64) ** -s
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(count), side="right") \
+        .astype(np.int64)
+
+
+def scatter_slot(keys, n_keys: int):
+    """Map keys to table slots with a fixed multiplicative hash."""
+    return (np.asarray(keys, dtype=np.int64) * _SCATTER) % n_keys
+
+
+def mm_serving(ctx, n_keys=1 << 14, obj_bytes=64, queries=128,
+               lookups=8, zipf_s=1.2, write_frac=0.05, qps=2000.0,
+               api="object", pcache=None, partition_writes=True):
+    """Serve ``queries`` open-loop KV queries per rank (generator).
+
+    Each query reads ``lookups`` objects (zipf-skewed keys) and, with
+    probability ``write_frac``, writes one object back. ``api`` picks
+    the access path: ``"object"`` uses ``read_objects``/``write_object``
+    (the config threshold still gates the actual granularity);
+    ``"page"`` forces plain ``read_range``/``write_range``.
+    ``partition_writes`` remaps written keys onto this rank's shard so
+    concurrent ranks never race on the same bytes.
+    """
+    if api not in ("object", "page"):
+        raise ValueError(f"api must be 'object' or 'page', not {api!r}")
+    n_keys = int(n_keys)
+    obj_bytes = int(obj_bytes)
+    table = yield from ctx.mm.vector("kv:serving", dtype=np.uint8,
+                                     size=n_keys * obj_bytes)
+    if pcache:
+        table.bound_memory(pcache)
+    mon = ctx.cluster.monitor
+    tracer = ctx.mm.system.tracer
+    hist = mon.metrics.histogram("serving_latency", node=ctx.node)
+    rng = ctx.rng
+    # The whole query schedule is drawn up front: arrivals, keys, and
+    # write coin-flips are then independent of service timing (a purely
+    # open-loop client).
+    arrivals = np.cumsum(rng.exponential(1.0 / float(qps),
+                                         size=queries))
+    keys = zipf_keys(rng, n_keys, float(zipf_s),
+                     queries * lookups).reshape(queries, lookups)
+    writes = rng.random(queries) < float(write_frac)
+    write_vals = rng.integers(0, 251, size=(queries, obj_bytes),
+                              dtype=np.uint8)
+    yield from ctx.barrier()
+    t_start = ctx.sim.now
+    checksum = 0.0
+    lats = np.empty(queries, dtype=np.float64)
+    for q in range(queries):
+        t_arrive = t_start + arrivals[q]
+        if ctx.sim.now < t_arrive:
+            yield ctx.sim.timeout(t_arrive - ctx.sim.now)
+        slots = scatter_slot(keys[q], n_keys)
+        offs = slots * obj_bytes
+        if api == "object":
+            outs = yield from table.read_objects(
+                [(int(o), obj_bytes) for o in offs])
+        else:
+            outs = []
+            for o in offs:
+                outs.append((yield from table.read_range(int(o),
+                                                         obj_bytes)))
+        for out in outs:
+            checksum += float(out.sum())
+        if writes[q]:
+            wkey = int(keys[q, 0])
+            if partition_writes:
+                wkey = min(n_keys - 1,
+                           (wkey // ctx.nprocs) * ctx.nprocs + ctx.rank)
+            woff = int(scatter_slot(wkey, n_keys)) * obj_bytes
+            if api == "object":
+                yield from table.write_object(woff, write_vals[q])
+            else:
+                yield from table.write_range(woff, write_vals[q])
+        now = ctx.sim.now
+        lat = now - t_arrive
+        lats[q] = lat
+        hist.observe(lat)
+        mon.count("serving.queries")
+        mon.count("serving.lookups", lookups)
+        tracer.record("query", "serving", ctx.node, t_arrive, now,
+                      rank=ctx.rank, lookups=lookups)
+    yield from ctx.barrier()
+    return (round(checksum, 6), queries,
+            float(np.percentile(lats, 50) * 1e3),
+            float(np.percentile(lats, 99) * 1e3))

@@ -178,13 +178,30 @@ class CoherenceChecker:
         """Promote the flushing rank's pending bytes: from here on,
         later reads by anyone are ordered behind these writes."""
         m = self._model(vec)
-        mask = m.pending_writer == vec.client.rank
+        self._promote(m, m.pending_writer == vec.client.rank,
+                      vec.client.rank, now)
+
+    def on_promote(self, vec, elem_off: int, nbytes: int,
+                   now: float) -> None:
+        """An acked write-through (the object path's OBJ_WRITE): the
+        ack globally orders exactly this byte range — a flush scoped
+        to the acked bytes, nothing else of the rank's pending state."""
+        m = self._model(vec)
+        off = elem_off * vec.itemsize
+        m.ensure(off + nbytes)
+        mask = np.zeros(len(m.stable), bool)
+        mask[off:off + nbytes] = \
+            m.pending_writer[off:off + nbytes] == vec.client.rank
+        self._promote(m, mask, vec.client.rank, now)
+
+    @staticmethod
+    def _promote(m, mask, rank: int, now: float) -> None:
         if not mask.any():
             return
         m.prev[mask] = m.stable[mask]
         m.prev_valid[mask] = m.initialized[mask]
         m.promote_t[mask] = now
-        m.promoted_by[mask] = vec.client.rank
+        m.promoted_by[mask] = rank
         m.stable[mask] = m.pending[mask]
         m.initialized[mask] = True
         m.pending_writer[mask] = -1
@@ -425,6 +442,14 @@ class HistoryRecorder:
         self._log(b"f", now, vec.client.rank, vec.shared.name)
         if self.checker is not None:
             self.checker.on_flush(vec, now)
+
+    def on_promote(self, vec, elem_off: int, nbytes: int) -> None:
+        self._track(vec)
+        now = float(self.system.sim.now)
+        self._log(b"p", now, vec.client.rank, vec.shared.name,
+                  elem_off, nbytes)
+        if self.checker is not None:
+            self.checker.on_promote(vec, elem_off, nbytes, now)
 
     def on_append(self, vec, start: int, count: int) -> None:
         self._track(vec)

@@ -131,7 +131,8 @@ class MegaMmapClient:
         target = vec.owner_node(task.page_idx, task.client_node)
         task.done = Event(self.system.sim)
         nbytes = TASK_ENVELOPE + task.nbytes \
-            if task.kind is TaskKind.WRITE else TASK_ENVELOPE
+            if task.kind in (TaskKind.WRITE, TaskKind.OBJ_WRITE) \
+            else TASK_ENVELOPE
         self.system.monitor.count("rpc.submits")
         h = self.system.history
         if h is not None:
@@ -211,7 +212,9 @@ class MegaMmapClient:
             "tenant": self.tenant.name}
         t0 = self.system.sim.now
         for owner, batch, _chunk in batches:
-            payloads = [t.nbytes if t.kind is TaskKind.WRITE else 0
+            payloads = [t.nbytes
+                        if t.kind in (TaskKind.WRITE, TaskKind.OBJ_WRITE)
+                        else 0
                         for t in batch.tasks]
             nbytes = batched_nbytes(payloads)
             with self.system.tracer.span(

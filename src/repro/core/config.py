@@ -142,6 +142,13 @@ class MegaMmapConfig:
     #: sample — when its duration exceeds ``trace_slow_factor`` x the
     #: recent windowed p99 of its category.
     trace_slow_factor: float = 4.0
+    #: Object-granular access gate (DOLMA-style object vs page
+    #: disaggregation): ``Vector.read_object``/``write_object`` requests
+    #: of at most this many bytes bypass the pcache page fault and go
+    #: straight to the owner node as extent-sized object RPCs. 0 (the
+    #: default) disables the path entirely — object calls degrade to
+    #: the plain page path bit-for-bit.
+    object_threshold_bytes: int = 0
 
     def validated(self) -> "MegaMmapConfig":
         if self.page_size <= 0:
@@ -187,6 +194,9 @@ class MegaMmapConfig:
         if self.trace_slow_factor < 1.0:
             raise ValueError(f"trace_slow_factor must be >= 1, got "
                              f"{self.trace_slow_factor}")
+        if self.object_threshold_bytes < 0:
+            raise ValueError(f"object_threshold_bytes must be >= 0, "
+                             f"got {self.object_threshold_bytes}")
         return self
 
     @classmethod

@@ -22,6 +22,13 @@ class TaskKind(Enum):
     SCORE = "score"
     FLUSH = "flush"
     DELETE = "delete"
+    #: Object-granular extent read: fetch ``region`` from the owner's
+    #: scache without installing a pcache frame on the client (DOLMA
+    #: regime — sub-page objects served at object granularity).
+    OBJ_READ = "obj_read"
+    #: Object-granular write-through: apply ``fragments`` directly in
+    #: the owner's scache; the ack makes the bytes globally visible.
+    OBJ_WRITE = "obj_write"
 
 
 @dataclass(slots=True)
@@ -59,9 +66,9 @@ class MemoryTask:
     @property
     def nbytes(self) -> int:
         """Payload size used for the low/high-latency worker split."""
-        if self.kind is TaskKind.READ:
+        if self.kind in (TaskKind.READ, TaskKind.OBJ_READ):
             return self.region[1] if self.region else 1 << 30
-        if self.kind is TaskKind.WRITE:
+        if self.kind in (TaskKind.WRITE, TaskKind.OBJ_WRITE):
             return sum(len(d) for _, d in self.fragments)
         return 0
 

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.memtask import BatchTask
+from repro.core.memtask import BatchTask, TaskKind
 from repro.core.scache import ScacheExecutor
-from repro.sim import Event, Resource, Store
+from repro.sim import AllOf, Event, Resource, Store
 from repro.sim.rand import spawn_seed
 
 
@@ -141,6 +141,17 @@ class NodeRuntime:
                 for sub in task.tasks:
                     shards[self._store_idx(task.vector_name,
                                            sub.page_idx)] = None
+                if task.kind is TaskKind.OBJ_READ and len(shards) > 1:
+                    # Read-only object batches need no cross-FIFO
+                    # barrier: a shard barrier would hold every
+                    # involved worker FIFO until the last one drains
+                    # (convoying a serving node's whole low-latency
+                    # pool behind one slow page). Split the batch into
+                    # independent per-FIFO parts instead — each part
+                    # still sits in its pages' FIFO, so the per-page
+                    # read-after-write guarantee is untouched.
+                    self._split_obj_read_batch(task)
+                    continue
                 state = _BatchState(task, len(shards), self.sim)
                 # All shard puts happen atomically (no yields), so two
                 # batches sharing FIFOs enqueue in a consistent order
@@ -150,6 +161,50 @@ class NodeRuntime:
                 continue
             idx = self._store_idx(task.vector_name, task.page_idx)
             self._stores[idx].put(task)
+
+    def _split_obj_read_batch(self, batch: BatchTask) -> None:
+        """Fan an OBJ_READ batch out as one independent single-shard
+        part per worker FIFO and merge the part results back into the
+        original task order once all parts complete."""
+        groups: Dict[int, List[int]] = {}
+        for pos, sub in enumerate(batch.tasks):
+            groups.setdefault(
+                self._store_idx(batch.vector_name, sub.page_idx),
+                []).append(pos)
+        parts = []
+        for idx, positions in groups.items():
+            part = BatchTask(
+                kind=batch.kind, vector_name=batch.vector_name,
+                client_node=batch.client_node,
+                tasks=[batch.tasks[p] for p in positions])
+            part.done = Event(self.sim)
+            part.submit_time = batch.submit_time
+            part.ctx = batch.ctx
+            self._stores[idx].put(
+                _BatchShard(_BatchState(part, 1, self.sim)))
+            parts.append((positions, part))
+        # The parent batch counted once at submit(); every part's
+        # worker decrements, so account for the extras.
+        self.inflight += len(parts) - 1
+        self._backlog_gauge.add(len(parts) - 1)
+
+        def merge():
+            try:
+                yield AllOf(self.sim, [p.done for _pos, p in parts])
+            except BaseException as exc:  # noqa: BLE001 - re-raised to
+                if batch.done is not None:  # the waiting client
+                    batch.done.fail(exc)
+                    return
+                raise
+            results = [None] * len(batch.tasks)
+            for positions, part in parts:
+                for pos, value in zip(positions, part.done.value):
+                    results[pos] = value
+            if batch.done is not None:
+                batch.done.succeed(results)
+
+        self.sim.process(
+            merge(), name=f"rt{self.node_id}.objmerge")
 
     def _worker(self, store: Store):
         cfg = self.system.config

@@ -33,6 +33,10 @@ class ScacheExecutor:
                                    kind="read")
         self._m_writes = _m.counter("scache_ops", node=node_id,
                                     kind="write")
+        self._m_obj_reads = _m.counter("scache_ops", node=node_id,
+                                       kind="obj_read")
+        self._m_obj_writes = _m.counter("scache_ops", node=node_id,
+                                        kind="obj_write")
 
     def execute(self, task: MemoryTask):
         """Dispatch one task. Generator; returns the READ payload or
@@ -54,6 +58,28 @@ class ScacheExecutor:
                              vector=vec.name, page=task.page_idx,
                              nbytes=task.nbytes):
                 return (yield from self._write(vec, task))
+        if task.kind is TaskKind.OBJ_READ:
+            # Object-granular extent read (DOLMA regime): same scache
+            # semantics as a partial READ — crash failover, integrity
+            # verification — but attributed to the "object" category so
+            # ``repro report`` can tell the access paths apart.
+            with tracer.span("obj_read", "object", node=self.node_id,
+                             vector=vec.name, page=task.page_idx,
+                             nbytes=task.nbytes):
+                self.system.monitor.count("object.scache_reads")
+                self._m_obj_reads.inc()
+                return (yield from self._read(vec, task))
+        if task.kind is TaskKind.OBJ_WRITE:
+            # Write-through: once the ack reaches the client, the bytes
+            # must survive a primary crash — so durability copies ship
+            # *before* the ack, not asynchronously after it.
+            with tracer.span("obj_write", "object", node=self.node_id,
+                             vector=vec.name, page=task.page_idx,
+                             nbytes=task.nbytes):
+                self.system.monitor.count("object.scache_writes")
+                self._m_obj_writes.inc()
+                return (yield from self._write(vec, task,
+                                               sync_replicate=True))
         if task.kind is TaskKind.SCORE:
             self.system.organizer.ingest(vec, task.scores)
             return None
@@ -90,6 +116,14 @@ class ScacheExecutor:
                              node=self.node_id, vector=vec.name,
                              count=len(batch), nbytes=batch.nbytes):
                 return (yield from self._write_batch(vec, batch))
+        if batch.kind is TaskKind.OBJ_READ:
+            with tracer.span("obj_read_batch", "object.batch",
+                             node=self.node_id, vector=vec.name,
+                             count=len(batch), nbytes=batch.nbytes):
+                self.system.monitor.count("object.scache_reads",
+                                          len(batch))
+                self._m_obj_reads.inc(len(batch))
+                return (yield from self._obj_read_batch(vec, batch))
         results = []
         for task in batch.tasks:
             results.append((yield from self.execute(task)))
@@ -448,8 +482,64 @@ class ScacheExecutor:
                 results[i] = raw[:task.region[1]]
         return results
 
+    def _obj_read_batch(self, vec: SharedVector, batch: BatchTask):
+        """Serve an OBJ_READ batch: all tasks are extent reads, so the
+        batch pays one metadata/stage-in round for its distinct pages
+        and then one partial fetch per object. Unhealthy placements
+        (crashed primary, lost replica) fall back to the per-task read
+        path, which recovers page by page."""
+        hermes = self.system.hermes
+        rel = self.system.reliability
+        results: list = [None] * len(batch.tasks)
+        pending = []
+        for i, task in enumerate(batch.tasks):
+            info = hermes.mdm.peek(vec.name, task.page_idx)
+            if info is not None and (info.node < 0
+                                     or info.node in rel.failed_nodes):
+                results[i] = yield from self._read(vec, task)
+            else:
+                pending.append(i)
+        if not pending:
+            return results
+        pages = list(dict.fromkeys(
+            batch.tasks[i].page_idx for i in pending))
+        infos = yield from self.ensure_pages(vec, pages,
+                                             batch.client_node)
+        for i in pending:
+            task = batch.tasks[i]
+            info = infos.get(task.page_idx)
+            if info is None or info.node < 0 \
+                    or info.node in rel.failed_nodes:
+                self.system.monitor.count("reliability.read_failovers")
+                results[i] = yield from self._read(vec, task)
+                continue
+            off, size = task.region
+            self.system.monitor.count("scache.reads")
+            self._m_reads.inc()
+            if self.system.config.integrity_checks:
+                # Verification needs the whole page (see _read).
+                raw = yield from self._get_page(vec, task.page_idx,
+                                                task.client_node)
+                if not rel.verify(vec.name, task.page_idx, raw):
+                    self.system.monitor.count("reliability.corruptions")
+                    raw = yield from rel.recover_page(
+                        vec, task.page_idx, task.client_node)
+                results[i] = raw[off:off + size]
+                continue
+            try:
+                results[i] = yield from hermes.get_partial(
+                    task.client_node, vec.name, task.page_idx, off,
+                    size)
+            except BlobNotFound:
+                self.system.monitor.count("reliability.read_failovers")
+                raw = yield from rel.recover_page(vec, task.page_idx,
+                                                  task.client_node)
+                results[i] = raw[off:off + size]
+        return results
+
     # -- writes ----------------------------------------------------------------
-    def _write(self, vec: SharedVector, task: MemoryTask):
+    def _write(self, vec: SharedVector, task: MemoryTask,
+               sync_replicate: bool = False):
         hermes = self.system.hermes
         page_nbytes = vec.page_nbytes(task.page_idx)
         whole_page = (len(task.fragments) == 1
@@ -479,10 +569,14 @@ class ScacheExecutor:
                         f"of {page_nbytes} bytes")
                 yield from hermes.put_partial(
                     self.node_id, vec.name, task.page_idx, off, data)
-        self._post_write(vec, task)
+        self._post_write(vec, task, async_replicate=not sync_replicate)
+        if sync_replicate and self.system.reliability.enabled:
+            yield from self.system.reliability.replicate_page(
+                vec, task.page_idx)
         return None
 
-    def _post_write(self, vec: SharedVector, task: MemoryTask) -> None:
+    def _post_write(self, vec: SharedVector, task: MemoryTask,
+                    async_replicate: bool = True) -> None:
         """Bookkeeping shared by the per-task and batched write paths:
         dirty/replica tracking, integrity records, durability copies."""
         vec.dirty_pages.add(task.page_idx)
@@ -504,9 +598,11 @@ class ScacheExecutor:
                     # Intent for the next transaction barrier: the
                     # page's latest bytes on its primary node's log.
                     dur.stage(vec.name, task.page_idx, info.node, raw)
-        if rel.enabled:
+        if rel.enabled and async_replicate:
             # Durability copies ship asynchronously (off the write's
-            # critical path, like the paper's async eviction).
+            # critical path, like the paper's async eviction). Object
+            # writes instead replicate synchronously before the ack
+            # (the caller passes ``async_replicate=False``).
             self.sim.process(
                 rel.replicate_page(vec, task.page_idx),
                 name=f"replicate {vec.name}[{task.page_idx}]")

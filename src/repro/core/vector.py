@@ -92,6 +92,13 @@ class Vector:
             "pcache_evictions", node=client.node, kind="dirty")
         self._m_evict_clean = _m.counter(
             "pcache_evictions", node=client.node, kind="clean")
+        # Object-path metric handles are created lazily on the first
+        # *enabled* object operation: a run with the path disabled
+        # (``object_threshold_bytes=0``) must not grow new metric
+        # series, or it would no longer be bit-identical to a run that
+        # never heard of objects.
+        self._m_obj_reads = None
+        self._m_obj_writes = None
 
     # -- geometry / identity ---------------------------------------------------
     @property
@@ -410,6 +417,281 @@ class Vector:
         yield from net.transfer(coord, self.client.node, 64)
         yield from self.write_range(start, array)
         return start
+
+    # -- object-granular access (DOLMA-style, sub-page objects) ------------------
+    #
+    # ``read_object``/``write_object`` serve small objects straight
+    # from the owner node's scache as extent-sized RPCs, without ever
+    # faulting a whole page. The path is gated by
+    # ``object_threshold_bytes``: requests larger than the threshold —
+    # and every request when the threshold is 0 — take the plain page
+    # path via ``read_range``/``write_range``, bit-for-bit.
+    #
+    # Fetched extents are installed into pcache frames as *valid*
+    # (never dirty) bytes, so the pcache doubles as an object cache at
+    # extent granularity: the zipf head of a serving workload is served
+    # locally after the first touch, while the misses of a whole
+    # ``read_objects`` call — identical extents deduplicated — batch
+    # into one vectored round trip per owner node instead of one
+    # sequential page fault per lookup.
+    #
+    # Coherence rule (read-your-writes):
+    #   * reads serve bytes that are valid in a resident pcache frame
+    #     from that frame (dirty ⊆ valid, so the rank's own uncommitted
+    #     page-path writes are always honoured), wait out any in-flight
+    #     frame install first, and fetch only the missing extents;
+    #   * fetched extents install with ``_install`` — exactly like a
+    #     page fault's, preserving locally dirty bytes — never whole
+    #     pages;
+    #   * writes are write-through — the OBJ_WRITE ack means the owner
+    #     applied (and, under replication, replicated) the bytes — and
+    #     additionally patch any resident frame in place so the rank's
+    #     later page-path reads see its own object writes.
+
+    def read_object(self, elem_off: int, count: int):
+        """Read one small object (``count`` elements) at object
+        granularity (generator; returns a private copy).
+
+        Above the threshold (or with the path disabled) this *is*
+        ``read_range``.
+        """
+        nbytes = count * self.itemsize
+        cfg = self.client.system.config
+        if not 0 < nbytes <= cfg.object_threshold_bytes:
+            return (yield from self.read_range(elem_off, count))
+        self._check_range(elem_off, count)
+        h = self.client.system.history
+        t0 = self.client.system.sim.now if h is not None else 0.0
+        out = np.empty(count, dtype=self.dtype)
+        tasks: list = []
+        dests: list = []
+        seen: dict = {}
+        exclude = tuple(p for p, _, _, _ in self._page_spans(elem_off,
+                                                             count))
+        tracer = self.client.system.tracer
+        with tracer.span("read_object", "object", node=self.client.node,
+                         vector=self.shared.name, nbytes=nbytes):
+            local = yield from self._object_plan(
+                elem_off, count, out.view(np.uint8), tasks, dests, seen,
+                exclude)
+            if tasks:
+                raws = yield from self.client.submit_batch(tasks,
+                                                           wait=True)
+                self._object_fill(dests, raws)
+            self._count_object_reads(1, nbytes, len(tasks), local)
+        if h is not None:
+            h.on_read(self, elem_off, out, t0)
+        return out
+
+    def read_objects(self, requests):
+        """Read several small objects with one vectored submission
+        (generator; returns arrays in request order).
+
+        ``requests`` is ``[(elem_off, count), ...]``. The missing
+        extents of every gated request ship as a single batched
+        OBJ_READ submission — one envelope per owner node — instead of
+        one round trip per object. Requests above the threshold fall
+        back to ``read_range`` individually.
+        """
+        requests = list(requests)
+        thr = self.client.system.config.object_threshold_bytes
+        h = self.client.system.history
+        t0 = self.client.system.sim.now if h is not None else 0.0
+        outs: list = [None] * len(requests)
+        tasks: list = []
+        dests: list = []
+        seen: dict = {}
+        gated = []
+        for i, (elem_off, count) in enumerate(requests):
+            nbytes = count * self.itemsize
+            if not 0 < nbytes <= thr:
+                outs[i] = yield from self.read_range(elem_off, count)
+                continue
+            self._check_range(elem_off, count)
+            gated.append(i)
+        # Frames of one vectored read protect each other from eviction
+        # while the wave is being planned (same rule as _fault_wave).
+        exclude = tuple({p for i in gated
+                         for p, _, _, _ in self._page_spans(*requests[i])})
+        total = 0
+        local = 0
+        for i in gated:
+            elem_off, count = requests[i]
+            out = np.empty(count, dtype=self.dtype)
+            outs[i] = out
+            total += count * self.itemsize
+            local += yield from self._object_plan(
+                elem_off, count, out.view(np.uint8), tasks, dests, seen,
+                exclude)
+        if gated:
+            tracer = self.client.system.tracer
+            with tracer.span("read_objects", "object",
+                             node=self.client.node,
+                             vector=self.shared.name, count=len(gated),
+                             nbytes=total):
+                if tasks:
+                    raws = yield from self.client.submit_batch(
+                        tasks, wait=True)
+                    self._object_fill(dests, raws)
+                self._count_object_reads(len(gated), total, len(tasks),
+                                         local)
+            if h is not None:
+                for i in gated:
+                    h.on_read(self, requests[i][0], outs[i], t0)
+        return outs
+
+    def write_object(self, elem_off: int, array: np.ndarray):
+        """Write one small object through to the owner's scache
+        (generator).
+
+        The ack makes the bytes globally visible (and replicated, when
+        replication is on) — no dirty pcache state is left behind.
+        Above the threshold (or disabled) this *is* ``write_range``.
+        """
+        array = np.ascontiguousarray(array, dtype=self.dtype).ravel()
+        nbytes = array.nbytes
+        cfg = self.client.system.config
+        if not 0 < nbytes <= cfg.object_threshold_bytes:
+            return (yield from self.write_range(elem_off, array))
+        self._check_range(elem_off, len(array))
+        h = self.client.system.history
+        if h is not None:
+            # Record the pending version *before* shipping: the bytes
+            # may become visible to peers the moment the owner applies
+            # them, and the checker must already know the version.
+            h.on_write(self, elem_off, array)
+        src = array.view(np.uint8)
+        tasks: list = []
+        tracer = self.client.system.tracer
+        with tracer.span("write_object", "object",
+                         node=self.client.node,
+                         vector=self.shared.name, nbytes=nbytes):
+            for page_idx, poff, n, soff in self._page_spans(
+                    elem_off, len(array)):
+                byte_off = poff * self.itemsize
+                span_nbytes = n * self.itemsize
+                sbase = soff * self.itemsize
+                chunk = src[sbase:sbase + span_nbytes]
+                frame = self._lookup(page_idx)
+                if frame is not None:
+                    if frame.pending is not None \
+                            and not frame.pending.processed:
+                        # An in-flight install would clobber the patch
+                        # (_install only preserves *dirty* bytes):
+                        # wait it out first.
+                        yield frame.pending
+                    frame.data[byte_off:byte_off + span_nbytes] = chunk
+                    frame.valid.add(byte_off, byte_off + span_nbytes)
+                    # Deliberately NOT marked dirty: the write-through
+                    # ships the bytes now; dirty would ship them again
+                    # at commit. Ranges already dirty simply carry the
+                    # new value to their commit — same final bytes.
+                tasks.append(MemoryTask(
+                    kind=TaskKind.OBJ_WRITE,
+                    vector_name=self.shared.name, page_idx=page_idx,
+                    client_node=self.client.node,
+                    fragments=[(byte_off, chunk.tobytes())]))
+            yield from self.client.submit_batch(tasks, wait=True)
+            self._count_object_writes(1, nbytes, len(tasks))
+        if h is not None:
+            # The ack globally orders the bytes (the owner — and under
+            # replication its replica — applied them): promote exactly
+            # this range in the coherence model.
+            h.on_promote(self, elem_off, nbytes)
+
+    def _object_plan(self, elem_off: int, count: int,
+                     out_u8: np.ndarray, tasks: list, dests: list,
+                     seen: dict, exclude=()):
+        """Plan one object read: copy locally-valid bytes from pcache
+        frames into ``out_u8`` and append OBJ_READ tasks + fill
+        destinations for the missing extents. ``seen`` dedups identical
+        extents across one vectored submission (zipf-hot keys repeat
+        within a query). Generator (may allocate frames / wait on
+        in-flight installs); returns the locally-served byte count."""
+        local = 0
+        for page_idx, poff, n, doff in self._page_spans(elem_off,
+                                                        count):
+            byte_off = poff * self.itemsize
+            nbytes = n * self.itemsize
+            dbase = doff * self.itemsize
+            # Allocate (and LRU-touch) the frame like a fault would —
+            # the fetched extent is installed on arrival, so the hot
+            # set ends up cached without ever faulting a whole page.
+            frame = yield from self._ensure_frame(
+                page_idx, self.shared.page_nbytes(page_idx),
+                exclude=exclude)
+            if frame.pending is not None \
+                    and not frame.pending.processed:
+                # Read-your-writes vs in-flight page installs:
+                # settle the frame before deciding what is local.
+                yield frame.pending
+            missing = self._missing(frame, byte_off, byte_off + nbytes)
+            out_u8[dbase:dbase + nbytes] = \
+                frame.data[byte_off:byte_off + nbytes]
+            local += nbytes - sum(e - s for s, e in missing)
+            for m_start, m_end in missing:
+                dst = dbase + (m_start - byte_off)
+                key = (page_idx, m_start, m_end)
+                pos = seen.get(key)
+                if pos is None:
+                    pos = len(tasks)
+                    seen[key] = pos
+                    tasks.append(MemoryTask(
+                        kind=TaskKind.OBJ_READ,
+                        vector_name=self.shared.name, page_idx=page_idx,
+                        client_node=self.client.node,
+                        region=(m_start, m_end - m_start)))
+                    # Only the first occurrence installs the extent.
+                    dests.append((pos, out_u8, dst, m_end - m_start,
+                                  frame, m_start))
+                else:
+                    self.client.system.monitor.count("object.dedup_hits")
+                    dests.append((pos, out_u8, dst, m_end - m_start,
+                                  None, 0))
+        return local
+
+    def _object_fill(self, dests, raws) -> None:
+        """Install fetched extents into their frames (valid, never
+        dirty — ``_install`` preserves local dirty bytes) and copy them
+        into the output slots."""
+        for pos, buf, dst, size, frame, m_start in dests:
+            raw = raws[pos]
+            data = raw if isinstance(raw, np.ndarray) \
+                else np.frombuffer(raw, dtype=np.uint8)
+            if frame is not None:
+                # Harmless if the frame was evicted mid-flight: the
+                # orphaned buffer is garbage-collected with the frame.
+                self._install(frame, m_start, data)
+            buf[dst:dst + size] = data
+
+    def _object_metrics(self):
+        if self._m_obj_reads is None:
+            _m = self.client.system.monitor.metrics
+            self._m_obj_reads = _m.counter(
+                "object_ops", node=self.client.node, kind="read")
+            self._m_obj_writes = _m.counter(
+                "object_ops", node=self.client.node, kind="write")
+        return self._m_obj_reads, self._m_obj_writes
+
+    def _count_object_reads(self, n: int, nbytes: int, remote: int,
+                            local: int) -> None:
+        mon = self.client.system.monitor
+        mon.count("object.reads", n)
+        mon.count("object.read_bytes", nbytes)
+        if remote:
+            mon.count("object.remote_tasks", remote)
+        if local:
+            mon.count("object.local_hit_bytes", local)
+        self._object_metrics()[0].inc(n)
+
+    def _count_object_writes(self, n: int, nbytes: int,
+                             remote: int) -> None:
+        mon = self.client.system.monitor
+        mon.count("object.writes", n)
+        mon.count("object.write_bytes", nbytes)
+        if remote:
+            mon.count("object.remote_tasks", remote)
+        self._object_metrics()[1].inc(n)
 
     def _check_range(self, elem_off: int, count: int) -> None:
         if elem_off < 0 or count < 0 \

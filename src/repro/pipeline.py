@@ -140,6 +140,22 @@ def _run_mm_stream(cluster, spec, workdir):
                        app.get("passes", 1), app.get("pcache"))
 
 
+def _run_mm_serving(cluster, spec, workdir):
+    from repro.apps.serving import mm_serving
+    app = spec["app"]
+    return cluster.run(mm_serving,
+                       app.get("n_keys", 1 << 14),
+                       app.get("obj_bytes", 64),
+                       app.get("queries", 128),
+                       app.get("lookups", 8),
+                       app.get("zipf_s", 1.2),
+                       app.get("write_frac", 0.05),
+                       app.get("qps", 2000.0),
+                       app.get("api", "object"),
+                       app.get("pcache"),
+                       app.get("partition_writes", True))
+
+
 def _run_mpi_gray_scott(cluster, spec, workdir):
     from repro.apps.grayscott import mpi_gray_scott
     app = spec["app"]
@@ -158,6 +174,7 @@ APP_REGISTRY: Dict[str, Callable] = {
     "mm_gray_scott": _run_mm_gray_scott,
     "mpi_gray_scott": _run_mpi_gray_scott,
     "mm_stream": _run_mm_stream,
+    "mm_serving": _run_mm_serving,
 }
 
 #: cluster-section keys consumed by the builder (everything else goes
@@ -316,6 +333,12 @@ def run_pipeline(text_or_path: str, workdir: Optional[str] = None,
             "net_mb": res.stats.get("net.bytes_moved", 0) / 2 ** 20,
             "pcache_faults": int(res.stats.get("pcache.faults", 0)),
         }
+        if res.stats.get("serving.queries"):
+            # Serving workloads surface their headline rate directly
+            # in the stats row (queries are counted once per rank).
+            row["serving_qps"] = round(
+                res.stats["serving.queries"] / res.runtime, 1)
+            row["object_reads"] = int(res.stats.get("object.reads", 0))
         for axis in variant.get("sweep_echo", []) or []:
             row[axis] = _get_path(variant, axis)
         for axis in (spec.get("sweep") or []):

@@ -1,0 +1,192 @@
+"""Property suite for the object-granular access path.
+
+Seeded (stdlib ``random``) interleavings of object- and page-path
+reads and writes run against a naive numpy shadow array; every read —
+``read_range``, ``read_object``, and vectored ``read_objects`` — must
+agree with the shadow byte for byte. Each rank drives its own disjoint
+shard, so read-your-writes (dirty pcache frames, in-flight installs,
+write-through patches) fully determines the expected bytes while both
+ranks still hammer the owner nodes concurrently.
+
+Also pinned here: objects straddling page boundaries, concurrent-rank
+object writers meeting at a barrier (fresh readers then see every
+acked write), and the ``object_threshold_bytes`` gate routing
+requests to the right path.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from benchmarks.common import testbed
+
+PAGE = 4096          # small pages -> plenty of straddling objects
+SHARD_PAGES = 8
+SHARD = SHARD_PAGES * PAGE
+
+
+def _pattern(rnd: random.Random, n: int) -> np.ndarray:
+    # A cheap deterministic pattern: one random byte + ramp, mod 251.
+    base = rnd.randrange(251)
+    return ((np.arange(n) + base) % 251).astype(np.uint8)
+
+
+def _interleave(ctx, seed, n_ops, threshold):
+    """Random op mix over this rank's shard, mirrored on a shadow."""
+    rnd = random.Random(seed + ctx.rank)
+    size = ctx.nprocs * SHARD
+    vec = yield from ctx.mm.vector("prop:objects", dtype=np.uint8,
+                                   size=size)
+    vec.bound_memory(4 * PAGE)      # force eviction churn
+    lo = ctx.rank * SHARD
+    shadow = np.zeros(SHARD, dtype=np.uint8)
+    bad = 0
+    for _ in range(n_ops):
+        op = rnd.choice(("wr_range", "wr_obj", "rd_range", "rd_obj",
+                         "rd_objs", "rd_objs"))
+        off = rnd.randrange(SHARD - 1)
+        n = rnd.randint(1, min(3 * threshold, SHARD - off))
+        if op == "wr_range":
+            data = _pattern(rnd, n)
+            yield from vec.write_range(lo + off, data)
+            shadow[off:off + n] = data
+        elif op == "wr_obj":
+            data = _pattern(rnd, n)
+            yield from vec.write_object(lo + off, data)
+            shadow[off:off + n] = data
+        elif op == "rd_range":
+            out = yield from vec.read_range(lo + off, n)
+            bad += int(not np.array_equal(out, shadow[off:off + n]))
+        elif op == "rd_obj":
+            out = yield from vec.read_object(lo + off, n)
+            bad += int(not np.array_equal(out, shadow[off:off + n]))
+        else:
+            reqs = []
+            for _r in range(rnd.randint(1, 4)):
+                roff = rnd.randrange(SHARD - 1)
+                rn = rnd.randint(1, min(2 * threshold, SHARD - roff))
+                reqs.append((roff, rn))
+            outs = yield from vec.read_objects(
+                [(lo + o, c) for o, c in reqs])
+            for (roff, rn), out in zip(reqs, outs):
+                bad += int(not np.array_equal(
+                    out, shadow[roff:roff + rn]))
+    # Final sweep: the whole shard through both paths.
+    whole_page = yield from vec.read_range(lo, SHARD)
+    whole_obj = yield from vec.read_objects(
+        [(lo + p * PAGE, PAGE) for p in range(SHARD_PAGES)])
+    bad += int(not np.array_equal(whole_page, shadow))
+    bad += int(not np.array_equal(np.concatenate(whole_obj), shadow))
+    return bad
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_interleavings_agree_with_shadow(seed):
+    threshold = 256
+    c = testbed(n_nodes=2, procs_per_node=2, page_size=PAGE,
+                object_threshold_bytes=threshold, seed=seed)
+    res = c.run(_interleave, 1000 * seed, 60, threshold)
+    assert res.values == [0, 0, 0, 0], res.values
+    # The mix really exercised both paths.
+    assert res.stats.get("object.reads", 0) > 0
+    assert res.stats.get("object.writes", 0) > 0
+    assert res.stats.get("pcache.faults", 0) > 0
+
+
+def test_straddling_object_crosses_page_boundary():
+    def app(ctx):
+        vec = yield from ctx.mm.vector("prop:straddle",
+                                       dtype=np.uint8, size=4 * PAGE)
+        if ctx.rank == 0:
+            data = ((np.arange(128) + 5) % 251).astype(np.uint8)
+            yield from vec.write_object(PAGE - 64, data)
+        yield from ctx.barrier()
+        out = yield from vec.read_object(PAGE - 64, 128)
+        lo = yield from vec.read_range(PAGE - 64, 64)
+        hi = yield from vec.read_range(PAGE, 64)
+        return (out.tolist(), np.concatenate([lo, hi]).tolist())
+
+    c = testbed(n_nodes=2, procs_per_node=1, page_size=PAGE,
+                object_threshold_bytes=4096)
+    want = (((np.arange(128) + 5) % 251).astype(np.uint8)).tolist()
+    for obj, pages in c.run(app).values:
+        assert obj == want        # object read spans both pages
+        assert pages == want      # page path sees the same bytes
+    # The write really split into two per-page OBJ_WRITE tasks.
+    assert c.monitor.counter("object.remote_tasks") >= 2
+
+
+def test_concurrent_rank_writers_at_a_barrier():
+    """Every rank object-writes its own slots, then reads the whole
+    table after a barrier. Readers never cached other shards before
+    the barrier, so every fetch is fresh and must observe every acked
+    write-through — byte-identical between the two read paths."""
+    def app(ctx):
+        size = ctx.nprocs * 512
+        vec = yield from ctx.mm.vector("prop:writers",
+                                       dtype=np.uint8, size=size)
+        # Straddle-prone slots: each rank's slots start mid-page.
+        data = ((np.arange(512) * (ctx.rank + 3)) % 251) \
+            .astype(np.uint8)
+        yield from vec.write_object(ctx.rank * 512, data)
+        yield from ctx.barrier()
+        via_obj = yield from vec.read_objects(
+            [(r * 512, 512) for r in range(ctx.nprocs)])
+        via_page = yield from vec.read_range(0, size)
+        return (np.concatenate(via_obj).tolist(), via_page.tolist())
+
+    c = testbed(n_nodes=2, procs_per_node=2, page_size=PAGE,
+                object_threshold_bytes=1024)
+    want = np.concatenate([
+        ((np.arange(512) * (r + 3)) % 251).astype(np.uint8)
+        for r in range(4)]).tolist()
+    for via_obj, via_page in c.run(app).values:
+        assert via_obj == want
+        assert via_page == want
+
+
+def test_threshold_gates_path_selection():
+    """Requests at or under the threshold take the object path (the
+    ``object.*`` counters move); larger ones fall back to the page
+    path (``pcache.faults`` move) — and both return correct bytes."""
+    def app(ctx):
+        vec = yield from ctx.mm.vector("prop:gate", dtype=np.uint8,
+                                       size=4 * PAGE)
+        small = yield from vec.read_object(10, 128)     # gated
+        large = yield from vec.read_object(0, 129)      # falls back
+        yield from vec.write_object(0, np.full(128, 3, np.uint8))
+        yield from vec.write_object(0, np.full(129, 4, np.uint8))
+        out = yield from vec.read_range(0, 129)
+        return (int(small.sum()), int(large.sum()), out.tolist())
+
+    c = testbed(n_nodes=1, procs_per_node=1, page_size=PAGE,
+                object_threshold_bytes=128)
+    (small_sum, large_sum, out), = c.run(app).values
+    assert small_sum == 0 and large_sum == 0    # zero-filled table
+    assert out == [4] * 129
+    # Exactly one gated read and one gated write were counted.
+    assert c.monitor.counter("object.reads") == 1
+    assert c.monitor.counter("object.writes") == 1
+    assert c.monitor.counter("pcache.faults") > 0
+
+
+def test_threshold_zero_disables_object_counters():
+    """With the gate closed, the object API is the page API: no
+    ``object.*`` stats, no OBJ_* tasks."""
+    def app(ctx):
+        vec = yield from ctx.mm.vector("prop:off", dtype=np.uint8,
+                                       size=PAGE)
+        yield from vec.write_object(0, np.arange(64, dtype=np.uint8))
+        out = yield from vec.read_object(0, 64)
+        outs = yield from vec.read_objects([(0, 32), (32, 32)])
+        return (out.tolist(),
+                np.concatenate(outs).tolist())
+
+    c = testbed(n_nodes=1, procs_per_node=1, page_size=PAGE,
+                object_threshold_bytes=0)
+    res = c.run(app)
+    (out, outs), = res.values
+    assert out == list(range(64)) and outs == list(range(64))
+    assert not [k for k in res.stats if k.startswith("object.")], \
+        res.stats

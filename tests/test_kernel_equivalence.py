@@ -168,6 +168,41 @@ def test_sampled_observability_is_bit_identical(monkeypatch):
     assert summary["trace.pcache.p99"] > 0.0
 
 
+def test_object_path_threshold_zero_is_bit_identical_to_page():
+    """The acceptance gate for the object-granular access path: with
+    ``object_threshold_bytes = 0`` every ``read_object`` /
+    ``write_object`` falls back to the page path before doing any
+    work, so the serving workload driven through ``api="object"`` must
+    reproduce the ``api="page"`` run bit for bit — same simulated
+    runtime, same per-rank results, same counters (and no ``object.*``
+    counters at all)."""
+    from repro.apps.serving import mm_serving
+
+    def _serve(api):
+        c = testbed(n_nodes=2, procs_per_node=2, seed=7,
+                    object_threshold_bytes=0)
+        res = c.run(mm_serving, 4096, 64, 24, 8, 1.2, 0.05, 5000.0,
+                    api)
+        return res
+
+    res_obj = _serve("object")
+    res_page = _serve("page")
+
+    assert res_obj.runtime == res_page.runtime
+    assert res_obj.values == res_page.values
+
+    def visible(stats):
+        return {k: v for k, v in stats.items()
+                if not k.startswith("kernel.")}
+
+    assert visible(res_obj.stats) == visible(res_page.stats)
+    # The gate really closed: nothing took the object fast path.
+    assert not [k for k in res_obj.stats if k.startswith("object.")]
+    # And the workload did real data-plane work, writes included.
+    assert res_obj.stats.get("pcache.faults", 0) > 0
+    assert res_obj.stats.get("serving.queries", 0) > 0
+
+
 def test_single_tenant_colocation_is_bit_identical_to_plain():
     """The acceptance gate for the tenancy plane: a one-job colocation
     spec with tenancy disabled takes the plain-pipeline launcher — no

@@ -149,11 +149,12 @@ def test_prepare_dataset_gadget_writes_labels(tmp_path):
 
 def test_registry_covers_all_eight_artifact_apps():
     # The AD appendix's 8 applications (2x KMeans, 2x DBSCAN, 2x RF,
-    # 2x Gray-Scott) plus the colocation antagonist.
+    # 2x Gray-Scott) plus the colocation antagonist and the
+    # object-path serving workload.
     assert set(APP_REGISTRY) == {
         "mm_kmeans", "spark_kmeans", "mm_dbscan", "mpi_dbscan",
         "mm_random_forest", "spark_random_forest", "mm_gray_scott",
-        "mpi_gray_scott", "mm_stream"}
+        "mpi_gray_scott", "mm_stream", "mm_serving"}
 
 
 def test_cli_main(tmp_path, capsys):
